@@ -1,0 +1,120 @@
+// Package lrp's root benchmarks regenerate every table and figure of the
+// paper's evaluation, one benchmark per published result, plus ablation
+// benches for the design choices DESIGN.md calls out. Each benchmark runs
+// a scaled-down (Quick) version of the corresponding experiment and
+// reports the headline metric via b.ReportMetric, so `go test -bench=.`
+// doubles as a summary of the reproduction:
+//
+//	BenchmarkTable1/...   RTT, UDP and TCP throughput per system
+//	BenchmarkFig3/...     delivered pkts/s at peak and at 20k offered
+//	BenchmarkMLFRR        SOFT-LRP vs BSD maximum loss-free rate
+//	BenchmarkFig4/...     ping-pong RTT under background blast
+//	BenchmarkTable2/...   worker completion time and CPU share
+//	BenchmarkFig5/...     HTTP throughput under SYN flood
+//
+// Full-length runs (paper durations) are behind `lrpbench` (cmd/lrpbench).
+package lrp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lrp/internal/exp"
+)
+
+func opts() exp.Options { return exp.Options{Quick: true, Seed: 1} }
+
+// unit builds a whitespace-free metric unit like "NI-LRP_peak_pps".
+func unit(system, suffix string) string {
+	r := strings.NewReplacer(" ", "", "(", "", ")", "", ",", "")
+	return r.Replace(system) + "_" + suffix
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table1(opts())
+		for _, r := range rows {
+			b.ReportMetric(r.RTTMicros, unit(r.System, "rtt_µs"))
+			b.ReportMetric(r.UDPMbps, unit(r.System, "udp_Mbps"))
+			b.ReportMetric(r.TCPMbps, unit(r.System, "tcp_Mbps"))
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := exp.Fig3(opts())
+		for _, s := range series {
+			peak, last := 0.0, 0.0
+			for _, p := range s.Points {
+				if p.Delivered > peak {
+					peak = p.Delivered
+				}
+				last = p.Delivered
+			}
+			b.ReportMetric(peak, unit(s.System, "peak_pps"))
+			b.ReportMetric(last, unit(s.System, "at20k_pps"))
+		}
+	}
+}
+
+func BenchmarkMLFRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range exp.MLFRR(opts()) {
+			b.ReportMetric(float64(r.MLFRR), unit(r.System, "mlfrr_pps"))
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range exp.Fig4(opts()) {
+			base := s.Points[0].RTTMicros
+			worst := base
+			for _, p := range s.Points {
+				if p.RTTMicros > worst {
+					worst = p.RTTMicros
+				}
+			}
+			b.ReportMetric(base, unit(s.System, "rtt0_µs"))
+			b.ReportMetric(worst, unit(s.System, "rttworst_µs"))
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range exp.Table2(opts()) {
+			b.ReportMetric(r.WorkerElapsed, unit(r.Workload+r.System, "worker_s"))
+			b.ReportMetric(r.WorkerShare*100, unit(r.Workload+r.System, "share_pct"))
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range exp.Fig5(opts()) {
+			base := s.Points[0].HTTPPerSec
+			last := s.Points[len(s.Points)-1].HTTPPerSec
+			b.ReportMetric(base, unit(s.System, "http0_tps"))
+			b.ReportMetric(last, unit(s.System, "http20k_tps"))
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range exp.Ablations(opts()) {
+			b.ReportMetric(r.Value, unit(r.Experiment+"_"+r.Variant, r.Metric))
+		}
+	}
+}
+
+func BenchmarkMediaJitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range exp.MediaJitter(opts()) {
+			b.ReportMetric(r.MeanJitterUs, unit(r.System, fmt.Sprintf("jitter_bg%d_µs", r.BgRate)))
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Command lrpbench regenerates the tables and figures of the LRP paper
+// (Druschel & Banga, OSDI '96) from the simulated reproduction.
+//
+// Usage:
+//
+//	lrpbench [-quick] [-seed N] [-v] table1|fig3|mlfrr|fig4|table2|fig5|all
+//
+// Each experiment prints the same rows or series the paper reports;
+// EXPERIMENTS.md records a side-by-side comparison with the published
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lrp/internal/exp"
+	"lrp/internal/plot"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter runs (smoke test)")
+	seed := flag.Uint64("seed", 1, "traffic generator seed")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.BoolVar(&doPlot, "plot", false, "render ASCII charts for the figures")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := exp.Options{Quick: *quick, Seed: *seed}
+	if *verbose {
+		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	which := strings.ToLower(flag.Arg(0))
+	run := map[string]func(exp.Options){
+		"table1":    table1,
+		"fig3":      fig3,
+		"mlfrr":     mlfrr,
+		"fig4":      fig4,
+		"table2":    table2,
+		"fig5":      fig5,
+		"ablations": ablations,
+		"media":     media,
+	}
+	if which == "all" {
+		for _, name := range []string{"table1", "fig3", "mlfrr", "fig4", "table2", "fig5", "ablations", "media"} {
+			run[name](opt)
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := run[which]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fn(opt)
+}
+
+var doPlot bool
+
+func table1(opt exp.Options) {
+	fmt.Println("Table 1: Throughput and Latency")
+	fmt.Println("(paper: RTT 1006/855/840/864 µs; UDP 64/82/92/86 Mbps; TCP 63/69/67/66 Mbps)")
+	fmt.Printf("%-22s %14s %16s %16s\n", "System", "RTT (µs)", "UDP (Mbit/s)", "TCP (Mbit/s)")
+	for _, r := range exp.Table1(opt) {
+		fmt.Printf("%-22s %12.0f %16.1f %16.1f\n", r.System, r.RTTMicros, r.UDPMbps, r.TCPMbps)
+	}
+}
+
+func fig3(opt exp.Options) {
+	fmt.Println("Figure 3: Throughput versus offered load (14-byte UDP, pkts/s)")
+	series := exp.Fig3(opt)
+	if doPlot {
+		c := plot.Chart{Title: "Figure 3", XLabel: "offered rate (pkts/s)", YLabel: "delivered (pkts/s)", Width: 64, Height: 18}
+		for _, s := range series {
+			var xs, ys []float64
+			for _, p := range s.Points {
+				xs = append(xs, float64(p.Offered))
+				ys = append(ys, p.Delivered)
+			}
+			c.Add(s.System, xs, ys)
+		}
+		fmt.Println(c.Render())
+	}
+	fmt.Printf("%-10s", "offered")
+	for _, s := range series {
+		fmt.Printf(" %12s", s.System)
+	}
+	fmt.Println()
+	for i := range series[0].Points {
+		fmt.Printf("%-10d", series[0].Points[i].Offered)
+		for _, s := range series {
+			fmt.Printf(" %12.0f", s.Points[i].Delivered)
+		}
+		fmt.Println()
+	}
+}
+
+func mlfrr(opt exp.Options) {
+	fmt.Println("Maximum Loss-Free Receive Rate (paper: SOFT-LRP 9210 vs BSD 6380, +44%)")
+	fmt.Printf("%-14s %10s %12s\n", "System", "MLFRR", "Peak (pkt/s)")
+	rows := exp.MLFRR(opt)
+	for _, r := range rows {
+		fmt.Printf("%-14s %10d %12.0f\n", r.System, r.MLFRR, r.Peak)
+	}
+}
+
+func fig4(opt exp.Options) {
+	fmt.Println("Figure 4: Latency with concurrent load (µs round trip; * = probes lost)")
+	series := exp.Fig4(opt)
+	if doPlot {
+		c := plot.Chart{Title: "Figure 4", XLabel: "background rate (pkts/s)", YLabel: "round trip (µs)", Width: 64, Height: 18}
+		for _, s := range series {
+			var xs, ys []float64
+			for _, p := range s.Points {
+				if p.RTTMicros > 0 {
+					xs = append(xs, float64(p.BgRate))
+					ys = append(ys, p.RTTMicros)
+				}
+			}
+			c.Add(s.System, xs, ys)
+		}
+		fmt.Println(c.Render())
+	}
+	fmt.Printf("%-10s", "bg pkt/s")
+	for _, s := range series {
+		fmt.Printf(" %12s", s.System)
+	}
+	fmt.Println()
+	for i := range series[0].Points {
+		fmt.Printf("%-10d", series[0].Points[i].BgRate)
+		for _, s := range series {
+			mark := ""
+			if s.Points[i].Lost > 0 {
+				mark = "*"
+			}
+			fmt.Printf(" %11.0f%1s", s.Points[i].RTTMicros, mark)
+		}
+		fmt.Println()
+	}
+}
+
+func table2(opt exp.Options) {
+	fmt.Println("Table 2: Synthetic RPC Server Workload")
+	fmt.Println("(paper Fast: elapsed 49.7/34.6/38.7 s; shares 23-26% BSD vs 29-33% LRP)")
+	fmt.Printf("%-8s %-12s %16s %14s %14s\n", "RPC", "System", "Worker (s)", "RPCs/s", "Worker share")
+	for _, r := range exp.Table2(opt) {
+		fmt.Printf("%-8s %-12s %16.1f %14.0f %13.1f%%\n",
+			r.Workload, r.System, r.WorkerElapsed, r.ServerRPCRate, r.WorkerShare*100)
+	}
+}
+
+func fig5(opt exp.Options) {
+	fmt.Println("Figure 5: HTTP Server Throughput under SYN flood (transfers/s)")
+	fmt.Println("(paper: BSD livelocks near 10k SYN/s; LRP keeps ~50% at 20k)")
+	series := exp.Fig5(opt)
+	if doPlot {
+		c := plot.Chart{Title: "Figure 5", XLabel: "SYN rate (pkts/s)", YLabel: "HTTP transfers/s", Width: 64, Height: 18}
+		for _, s := range series {
+			var xs, ys []float64
+			for _, p := range s.Points {
+				xs = append(xs, float64(p.SYNRate))
+				ys = append(ys, p.HTTPPerSec)
+			}
+			c.Add(s.System, xs, ys)
+		}
+		fmt.Println(c.Render())
+	}
+	fmt.Printf("%-10s", "SYN/s")
+	for _, s := range series {
+		fmt.Printf(" %12s", s.System)
+	}
+	fmt.Println()
+	for i := range series[0].Points {
+		fmt.Printf("%-10d", series[0].Points[i].SYNRate)
+		for _, s := range series {
+			fmt.Printf(" %12.1f", s.Points[i].HTTPPerSec)
+		}
+		fmt.Println()
+	}
+}
+
+func ablations(opt exp.Options) {
+	fmt.Println("Ablations: isolating LRP's individual design choices")
+	fmt.Printf("%-16s %-20s %-22s %10s\n", "experiment", "variant", "metric", "value")
+	for _, r := range exp.Ablations(opt) {
+		fmt.Printf("%-16s %-20s %-22s %10.1f\n", r.Experiment, r.Variant, r.Metric, r.Value)
+	}
+}
+
+func media(opt exp.Options) {
+	fmt.Println("Media stream (30 fps) delivery jitter vs background blast")
+	fmt.Printf("%-12s %10s %14s %12s\n", "System", "bg pkt/s", "mean jitter µs", "p99 µs")
+	for _, r := range exp.MediaJitter(opt) {
+		fmt.Printf("%-12s %10d %14.0f %12d\n", r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs)
+	}
+}

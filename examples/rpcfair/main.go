@@ -1,0 +1,70 @@
+// Rpcfair: the paper's fairness demonstration (Table 2). A memory-bound
+// worker competes with two network-busy RPC servers on one machine. BSD's
+// mis-accounting ("CPU time spent in interrupt context ... is charged to
+// the application that happens to execute when a packet arrives") and
+// eager processing slow the worker down; LRP charges receive processing
+// to the receivers and keeps the worker near its fair 1/3 share.
+package main
+
+import (
+	"fmt"
+
+	"lrp/internal/app"
+	"lrp/internal/core"
+	"lrp/internal/netsim"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+func main() {
+	fmt.Println("Worker vs two RPC servers (per-request compute 120µs, ideal worker share 33%)")
+	for _, arch := range []core.Arch{core.ArchBSD, core.ArchSoftLRP, core.ArchNILRP} {
+		elapsed, share, rate, intr := run(arch)
+		fmt.Printf("%-12s worker finished in %5.2fs  share %4.1f%%  servers %4.0f RPC/s  intr charged to worker %dms\n",
+			arch, elapsed, share*100, rate, intr/1000)
+	}
+}
+
+func run(arch core.Arch) (elapsedSec, share, rate float64, intrCharged int64) {
+	eng := sim.NewEngine()
+	nw := netsim.New(eng)
+	srvAddr, cliAddr := pkt.IP(10, 0, 0, 2), pkt.IP(10, 0, 0, 1)
+	server := core.NewHost(eng, nw, core.Config{Name: "server", Addr: srvAddr, Arch: arch})
+	client := core.NewHost(eng, nw, core.Config{Name: "client", Addr: cliAddr, Arch: arch})
+	defer server.Shutdown()
+	defer client.Shutdown()
+
+	worker := &app.WorkerServer{
+		Host: server, Port: 1000,
+		ComputeTime:  2 * sim.Second,
+		CachePenalty: 40,
+	}
+	worker.Start()
+	worker.Proc.IntrPenalty = server.CM.RxDisturbPenalty
+
+	pen := server.CM.RxDisturbPenalty
+	srv1 := &app.RPCServer{Host: server, Port: 1001, PerCallCompute: 120, CachePenalty: 30, DisturbPenalty: pen}
+	srv2 := &app.RPCServer{Host: server, Port: 1002, PerCallCompute: 120, CachePenalty: 30, DisturbPenalty: pen}
+	srv1.Start()
+	srv2.Start()
+
+	for i, port := range []uint16{1001, 1002} {
+		c := &app.RPCClient{
+			Host: client, ServerAddr: srvAddr, ServerPort: port,
+			Outstanding: 8, Interval: 950, Rng: sim.NewRand(uint64(i) + 9),
+		}
+		c.Start()
+	}
+	wc := &app.RPCClient{Host: client, ServerAddr: srvAddr, ServerPort: 1000, Outstanding: 1, Rng: sim.NewRand(42)}
+	wc.Start()
+
+	for !worker.Done && eng.Now() < 60*sim.Second {
+		eng.RunFor(100 * sim.Millisecond)
+	}
+	el := worker.Elapsed()
+	r := 0.0
+	if el > 0 {
+		r = float64(srv1.Served.Total()+srv2.Served.Total()) / (float64(el) / 1e6)
+	}
+	return float64(el) / 1e6, worker.CPUShare(), r, worker.Proc.IntrCharged
+}

@@ -1,0 +1,152 @@
+package app
+
+import (
+	"bytes"
+	"fmt"
+
+	"lrp/internal/core"
+	"lrp/internal/kernel"
+	"lrp/internal/metrics"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+	"lrp/internal/socket"
+)
+
+// HTTPServer models NCSA httpd 1.5.1 in the paper's Fig. 5 setup: a
+// listening socket, a handler process per connection, a ~1300-byte
+// document, and an HTTP/1.0 close after each response.
+type HTTPServer struct {
+	Host    *core.Host
+	Port    uint16
+	Backlog int
+	// DocSize is the response body size ("approximately 1300 bytes").
+	DocSize int
+	// PerRequestCompute models request parsing, filesystem lookup and
+	// response generation.
+	PerRequestCompute int64
+
+	Served  metrics.Counter
+	Proc    *kernel.Proc
+	started bool
+}
+
+// Start spawns the accept loop; each connection is handled by its own
+// process, as NCSA httpd used a process per connection.
+func (s *HTTPServer) Start() {
+	if s.Backlog == 0 {
+		s.Backlog = 16
+	}
+	if s.DocSize == 0 {
+		s.DocSize = 1300
+	}
+	if s.PerRequestCompute == 0 {
+		s.PerRequestCompute = 500
+	}
+	s.Proc = s.Host.K.Spawn("httpd", 0, func(p *kernel.Proc) {
+		l := s.Host.NewTCPSocket(p)
+		if err := s.Host.BindTCP(l, s.Port); err != nil {
+			panic(err)
+		}
+		if err := s.Host.Listen(p, l, s.Backlog); err != nil {
+			panic(err)
+		}
+		s.started = true
+		n := 0
+		for {
+			cs, err := s.Host.Accept(p, l)
+			if err != nil {
+				return
+			}
+			n++
+			name := fmt.Sprintf("httpd-%d", n)
+			s.Host.K.Spawn(name, 0, func(hp *kernel.Proc) {
+				s.handle(hp, cs)
+			})
+		}
+	})
+}
+
+// handle serves one connection: read the request, compute, respond, close.
+func (s *HTTPServer) handle(p *kernel.Proc, cs *socket.Socket) {
+	req, err := s.Host.RecvStream(p, cs, 4096)
+	if err != nil || req == nil {
+		s.Host.AbortTCP(nil, cs)
+		return
+	}
+	p.Compute(s.PerRequestCompute)
+	if _, err := s.Host.SendStream(p, cs, s.doc()); err != nil {
+		s.Host.AbortTCP(nil, cs)
+		return
+	}
+	s.Host.CloseTCP(p, cs)
+	s.Served.Inc()
+}
+
+// doc builds the response document.
+func (s *HTTPServer) doc() []byte {
+	head := []byte("HTTP/1.0 200 OK\r\nContent-Type: text/html\r\n\r\n")
+	body := bytes.Repeat([]byte("x"), s.DocSize)
+	return append(head, body...)
+}
+
+// HTTPClient continually requests the document, opening a fresh connection
+// per transfer (HTTP/1.0 semantics, "eight HTTP clients on a single
+// machine continually request HTTP transfers from the server").
+type HTTPClient struct {
+	Host       *core.Host
+	ServerAddr pkt.Addr
+	ServerPort uint16
+	Name       string
+
+	Completed metrics.Counter
+	Failures  metrics.Counter
+	Latency   metrics.Histogram
+	Proc      *kernel.Proc
+}
+
+// Start spawns the client process.
+func (c *HTTPClient) Start() {
+	c.Proc = c.Host.K.Spawn(c.Name, 0, func(p *kernel.Proc) {
+		for {
+			start := p.Now()
+			if c.fetch(p) {
+				c.Completed.Inc()
+				c.Latency.Add(p.Now() - start)
+			} else {
+				c.Failures.Inc()
+				// Brief pause before retrying a failed transfer, like a
+				// browser user.
+				p.Delay(100 * sim.Millisecond)
+			}
+		}
+	})
+}
+
+// fetch performs one HTTP/1.0 transaction; false on any failure.
+func (c *HTTPClient) fetch(p *kernel.Proc) bool {
+	s := c.Host.NewTCPSocket(p)
+	if err := c.Host.ConnectTCP(p, s, c.ServerAddr, c.ServerPort); err != nil {
+		c.Host.AbortTCP(nil, s)
+		return false
+	}
+	if _, err := c.Host.SendStream(p, s, []byte("GET /index.html HTTP/1.0\r\n\r\n")); err != nil {
+		c.Host.AbortTCP(nil, s)
+		return false
+	}
+	ok := false
+	for {
+		data, err := c.Host.RecvStream(p, s, 16*1024)
+		if err != nil {
+			c.Host.AbortTCP(nil, s)
+			return false
+		}
+		if data == nil {
+			break // EOF
+		}
+		if len(data) > 0 {
+			ok = true
+		}
+	}
+	c.Host.CloseTCP(p, s)
+	return ok
+}

@@ -1,0 +1,105 @@
+package app
+
+import (
+	"lrp/internal/core"
+	"lrp/internal/kernel"
+	"lrp/internal/metrics"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// PingPongServer echoes datagrams on a port ("a server process (ping-pong
+// server) running on machine B").
+type PingPongServer struct {
+	Host *core.Host
+	Port uint16
+	Proc *kernel.Proc
+}
+
+// Start spawns the echo process.
+func (s *PingPongServer) Start() {
+	s.Proc = s.Host.K.Spawn("pingpong-srv", 0, func(p *kernel.Proc) {
+		sock := s.Host.NewUDPSocket(p)
+		if err := s.Host.BindUDP(sock, s.Port); err != nil {
+			panic(err)
+		}
+		for {
+			d, err := s.Host.RecvFrom(p, sock)
+			if err != nil {
+				return
+			}
+			if err := s.Host.SendTo(p, sock, d.Src, d.SPort, d.Data); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// PingPongClient ping-pongs a short message with a PingPongServer and
+// records round-trip times ("Latency was measured by ping-ponging a 1-byte
+// message between two workstations 10,000 times").
+type PingPongClient struct {
+	Host       *core.Host
+	ServerAddr pkt.Addr
+	ServerPort uint16
+	MsgSize    int
+	Iterations int
+	// Warmup discards the first Warmup round trips from the histogram so
+	// measurements reflect scheduler steady state (priorities take a
+	// second or two to equilibrate under background load).
+	Warmup int
+	// StartAfter delays the first probe (µs), e.g. until background load
+	// reaches steady state.
+	StartAfter int64
+	// Interval spaces probes apart (µs); 0 sends back-to-back.
+	Interval int64
+	// ReplyTimeout bounds one round trip; timed-out probes count as lost
+	// (BSD's IP-queue drops under load make some probes unanswerable:
+	// "packet dropping at the IP queue makes latency measurements
+	// impossible at rates beyond 15,000 pkts/sec").
+	ReplyTimeout int64
+
+	RTT  metrics.Histogram
+	Lost int
+	Done bool
+	Proc *kernel.Proc
+}
+
+// Start spawns the client process.
+func (c *PingPongClient) Start() {
+	if c.MsgSize == 0 {
+		c.MsgSize = 1
+	}
+	if c.ReplyTimeout == 0 {
+		c.ReplyTimeout = 500 * sim.Millisecond
+	}
+	c.Proc = c.Host.K.Spawn("pingpong-cli", 0, func(p *kernel.Proc) {
+		sock := c.Host.NewUDPSocket(p)
+		if err := c.Host.BindUDP(sock, 0); err != nil {
+			panic(err)
+		}
+		p.Delay(c.StartAfter)
+		msg := make([]byte, c.MsgSize)
+		total := c.Iterations + c.Warmup
+		for i := 0; c.Iterations == 0 || i < total; i++ {
+			p.Delay(c.Interval)
+			start := p.Now()
+			if err := c.Host.SendTo(p, sock, c.ServerAddr, c.ServerPort, msg); err != nil {
+				return
+			}
+			_, ok, err := c.Host.RecvFromTimeout(p, sock, c.ReplyTimeout)
+			if err != nil {
+				return
+			}
+			if i < c.Warmup {
+				continue
+			}
+			if !ok {
+				c.Lost++
+				continue
+			}
+			c.RTT.Add(p.Now() - start)
+		}
+		c.Done = true
+	})
+}

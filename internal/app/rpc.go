@@ -1,0 +1,205 @@
+package app
+
+import (
+	"encoding/binary"
+
+	"lrp/internal/core"
+	"lrp/internal/kernel"
+	"lrp/internal/metrics"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// The Table 2 workload: "The RPC facility we used is based on UDP
+// datagrams." An RPCServer performs PerCallCompute of work per request and
+// replies; an RPCClient keeps requests outstanding, "distributed near
+// uniformly in time".
+
+// RPCServer answers UDP RPC requests after computing for PerCallCompute µs.
+type RPCServer struct {
+	Host *core.Host
+	Port uint16
+	// PerCallCompute is the per-request computation ("Fast", "Medium" and
+	// "Slow" correspond to tests with different amounts of per-request
+	// computations").
+	PerCallCompute int64
+	// CachePenalty marks the computation memory-bound (see kernel.Proc).
+	CachePenalty int64
+	// DisturbPenalty is the per-interrupt-disturbance cache cost (see
+	// kernel.Proc.IntrPenalty).
+	DisturbPenalty int64
+	ReplySize      int
+
+	Served metrics.Counter
+	Proc   *kernel.Proc
+}
+
+// Start spawns the server process.
+func (s *RPCServer) Start() {
+	if s.ReplySize == 0 {
+		s.ReplySize = 32
+	}
+	s.Proc = s.Host.K.Spawn("rpc-srv", 0, func(p *kernel.Proc) {
+		p.CachePenalty = s.CachePenalty
+		p.IntrPenalty = s.DisturbPenalty
+		sock := s.Host.NewUDPSocket(p)
+		if err := s.Host.BindUDP(sock, s.Port); err != nil {
+			panic(err)
+		}
+		reply := make([]byte, s.ReplySize)
+		for {
+			d, err := s.Host.RecvFrom(p, sock)
+			if err != nil {
+				return
+			}
+			p.Compute(s.PerCallCompute)
+			if len(d.Data) >= 8 {
+				copy(reply, d.Data[:8]) // echo the request id
+			}
+			if err := s.Host.SendTo(p, sock, d.Src, d.SPort, reply); err != nil {
+				return
+			}
+			s.Served.Inc()
+		}
+	})
+}
+
+// WorkerServer performs one long, memory-bound computation in response to
+// a single RPC ("The first server process, called the worker, performs a
+// memory-bound computation... approximately 11.5 seconds of CPU time and
+// has a memory working set that covers a significant fraction (35%) of
+// the second level cache").
+type WorkerServer struct {
+	Host        *core.Host
+	Port        uint16
+	ComputeTime int64 // total CPU the call needs
+	// CachePenalty is the per-preemption cache-refill cost of the large
+	// working set.
+	CachePenalty int64
+
+	StartedAt  sim.Time
+	FinishedAt sim.Time
+	Done       bool
+	Proc       *kernel.Proc
+}
+
+// Start spawns the worker process.
+func (w *WorkerServer) Start() {
+	w.Proc = w.Host.K.Spawn("worker", 0, func(p *kernel.Proc) {
+		p.CachePenalty = w.CachePenalty
+		sock := w.Host.NewUDPSocket(p)
+		if err := w.Host.BindUDP(sock, w.Port); err != nil {
+			panic(err)
+		}
+		d, err := w.Host.RecvFrom(p, sock)
+		if err != nil {
+			return
+		}
+		w.StartedAt = p.Now()
+		// Compute in slices so preemption effects (and their cache
+		// penalties) are visible at realistic granularity.
+		const slice = 5 * sim.Millisecond
+		remaining := w.ComputeTime
+		for remaining > 0 {
+			c := slice
+			if remaining < c {
+				c = remaining
+			}
+			p.Compute(c)
+			remaining -= c
+		}
+		_ = w.Host.SendTo(p, sock, d.Src, d.SPort, []byte("done"))
+		w.FinishedAt = p.Now()
+		w.Done = true
+	})
+}
+
+// Elapsed returns the worker call's wall-clock completion time.
+func (w *WorkerServer) Elapsed() int64 {
+	if !w.Done {
+		return 0
+	}
+	return w.FinishedAt - w.StartedAt
+}
+
+// CPUShare returns the worker's CPU share over the call: CPU time consumed
+// divided by elapsed time (the paper's fairness metric; ideal is 1/3 with
+// two other busy servers).
+func (w *WorkerServer) CPUShare() float64 {
+	el := w.Elapsed()
+	if el == 0 {
+		return 0
+	}
+	return float64(w.Proc.CPUTime()) / float64(el)
+}
+
+// RPCClient issues requests to one server, keeping Outstanding requests in
+// flight at near-uniform spacing ("(1) each server has a number of
+// outstanding RPC requests at all times, and (2) the requests are
+// distributed near uniformly in time").
+type RPCClient struct {
+	Host       *core.Host
+	ServerAddr pkt.Addr
+	ServerPort uint16
+	// Interval is the target spacing between request transmissions (µs).
+	Interval int64
+	// Outstanding caps requests in flight.
+	Outstanding int
+	Rng         *sim.Rand
+
+	Completed metrics.Counter
+	RTT       metrics.Histogram
+	Proc      *kernel.Proc
+}
+
+// Start spawns the client process.
+func (c *RPCClient) Start() {
+	if c.Outstanding == 0 {
+		c.Outstanding = 4
+	}
+	if c.Rng == nil {
+		c.Rng = sim.NewRand(77)
+	}
+	c.Proc = c.Host.K.Spawn("rpc-cli", 0, func(p *kernel.Proc) {
+		sock := c.Host.NewUDPSocket(p)
+		if err := c.Host.BindUDP(sock, 0); err != nil {
+			panic(err)
+		}
+		inflight := 0
+		sendTimes := make(map[uint64]int64)
+		var id uint64
+		req := make([]byte, 64)
+		for {
+			for inflight < c.Outstanding {
+				id++
+				binary.BigEndian.PutUint64(req, id)
+				sendTimes[id] = p.Now()
+				if err := c.Host.SendTo(p, sock, c.ServerAddr, c.ServerPort, req); err != nil {
+					return
+				}
+				inflight++
+				if c.Interval > 0 {
+					p.Delay(c.Rng.Jitter(c.Interval, 0.2))
+				}
+			}
+			d, ok, err := c.Host.RecvFromTimeout(p, sock, sim.Second)
+			if err != nil {
+				return
+			}
+			if !ok {
+				// Lost request or reply (rare off-overload): refill.
+				inflight = 0
+				continue
+			}
+			inflight--
+			if len(d.Data) >= 8 {
+				rid := binary.BigEndian.Uint64(d.Data)
+				if t0, found := sendTimes[rid]; found {
+					c.RTT.Add(p.Now() - t0)
+					delete(sendTimes, rid)
+				}
+			}
+			c.Completed.Inc()
+		}
+	})
+}

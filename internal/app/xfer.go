@@ -1,0 +1,189 @@
+package app
+
+import (
+	"encoding/binary"
+
+	"lrp/internal/core"
+	"lrp/internal/kernel"
+	"lrp/internal/metrics"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// UDPWindowReceiver acknowledges each datagram by sequence number; the
+// paper measured UDP throughput "using a simple sliding-window protocol"
+// with checksumming disabled.
+type UDPWindowReceiver struct {
+	Host *core.Host
+	Port uint16
+
+	Bytes metrics.Counter
+	Pkts  metrics.Counter
+	Proc  *kernel.Proc
+}
+
+// Start spawns the receiver.
+func (r *UDPWindowReceiver) Start() {
+	r.Proc = r.Host.K.Spawn("udpwin-rx", 0, func(p *kernel.Proc) {
+		sock := r.Host.NewUDPSocket(p)
+		sock.NoUDPChecksum = true // per the paper's methodology
+		if err := r.Host.BindUDP(sock, r.Port); err != nil {
+			panic(err)
+		}
+		ack := make([]byte, 4)
+		for {
+			d, err := r.Host.RecvFrom(p, sock)
+			if err != nil {
+				return
+			}
+			r.Bytes.Addn(uint64(len(d.Data)))
+			r.Pkts.Inc()
+			if len(d.Data) >= 4 {
+				copy(ack, d.Data[:4])
+				if err := r.Host.SendTo(p, sock, d.Src, d.SPort, ack); err != nil {
+					return
+				}
+			}
+		}
+	})
+}
+
+// UDPWindowSender keeps Window datagrams of Size bytes outstanding toward
+// the receiver, resending on a coarse timeout (losses are rare on the
+// clean simulated LAN; the protocol exists to pace the sender, as in the
+// paper).
+type UDPWindowSender struct {
+	Host       *core.Host
+	PeerAddr   pkt.Addr
+	PeerPort   uint16
+	Size       int
+	Window     int
+	TotalBytes int64 // stop after this much (0: run forever)
+
+	Sent     metrics.Counter
+	Finished bool
+	Proc     *kernel.Proc
+}
+
+// Start spawns the sender.
+func (s *UDPWindowSender) Start() {
+	if s.Size == 0 {
+		s.Size = 8192
+	}
+	if s.Window == 0 {
+		s.Window = 8
+	}
+	s.Proc = s.Host.K.Spawn("udpwin-tx", 0, func(p *kernel.Proc) {
+		sock := s.Host.NewUDPSocket(p)
+		sock.NoUDPChecksum = true // per the paper's methodology
+		if err := s.Host.BindUDP(sock, 0); err != nil {
+			panic(err)
+		}
+		payload := make([]byte, s.Size)
+		var seq, ackd uint32
+		var sentBytes int64
+		send := func() {
+			binary.BigEndian.PutUint32(payload, seq)
+			seq++
+			sentBytes += int64(len(payload))
+			s.Sent.Inc()
+			_ = s.Host.SendTo(p, sock, s.PeerAddr, s.PeerPort, payload)
+		}
+		for {
+			for int(seq-ackd) < s.Window && (s.TotalBytes == 0 || sentBytes < s.TotalBytes) {
+				send()
+			}
+			if s.TotalBytes > 0 && sentBytes >= s.TotalBytes && ackd == seq {
+				s.Finished = true
+				return
+			}
+			d, ok, err := s.Host.RecvFromTimeout(p, sock, 200*sim.Millisecond)
+			if err != nil {
+				return
+			}
+			if !ok {
+				// Timeout: go back to the last acknowledged datagram.
+				seq = ackd
+				sentBytes = int64(ackd) * int64(s.Size)
+				continue
+			}
+			if len(d.Data) >= 4 {
+				a := binary.BigEndian.Uint32(d.Data) + 1
+				if a > ackd {
+					ackd = a
+				}
+			}
+		}
+	})
+}
+
+// TCPTransfer moves TotalBytes over one connection and records the elapsed
+// time ("TCP throughput was measured by transferring 24 Mbytes of data,
+// with the socket send and receive buffers set to 32 KByte").
+type TCPTransfer struct {
+	Server     *core.Host
+	Client     *core.Host
+	ServerAddr pkt.Addr
+	Port       uint16
+	TotalBytes int
+
+	Received int
+	Started  sim.Time
+	Ended    sim.Time
+	Done     bool
+}
+
+// Start spawns both sides.
+func (x *TCPTransfer) Start() {
+	x.Server.K.Spawn("tcpxfer-rx", 0, func(p *kernel.Proc) {
+		l := x.Server.NewTCPSocket(p)
+		if err := x.Server.BindTCP(l, x.Port); err != nil {
+			panic(err)
+		}
+		if err := x.Server.Listen(p, l, 5); err != nil {
+			panic(err)
+		}
+		cs, err := x.Server.Accept(p, l)
+		if err != nil {
+			return
+		}
+		for {
+			data, err := x.Server.RecvStream(p, cs, 64*1024)
+			if err != nil || data == nil {
+				break
+			}
+			x.Received += len(data)
+		}
+		x.Ended = p.Now()
+		x.Done = true
+	})
+	x.Client.K.Spawn("tcpxfer-tx", 0, func(p *kernel.Proc) {
+		s := x.Client.NewTCPSocket(p)
+		if err := x.Client.ConnectTCP(p, s, x.ServerAddr, x.Port); err != nil {
+			return
+		}
+		x.Started = p.Now()
+		chunk := make([]byte, 32*1024)
+		sent := 0
+		for sent < x.TotalBytes {
+			n := len(chunk)
+			if x.TotalBytes-sent < n {
+				n = x.TotalBytes - sent
+			}
+			w, err := x.Client.SendStream(p, s, chunk[:n])
+			if err != nil {
+				return
+			}
+			sent += w
+		}
+		x.Client.CloseTCP(p, s)
+	})
+}
+
+// ThroughputMbps returns the achieved goodput in Mbit/s once Done.
+func (x *TCPTransfer) ThroughputMbps() float64 {
+	if !x.Done || x.Ended <= x.Started {
+		return 0
+	}
+	return float64(x.Received) * 8 / float64(x.Ended-x.Started)
+}

@@ -1,0 +1,160 @@
+package core
+
+// LRP daemon processes: the idle-time protocol processing thread and the
+// ICMP proxy daemon. "Processing for certain network packets cannot be
+// directly attributed to any application process... this processing is
+// charged to daemon processes that act as proxies for a particular
+// protocol."
+
+import (
+	"encoding/binary"
+
+	"lrp/internal/kernel"
+	"lrp/internal/pkt"
+	"lrp/internal/socket"
+)
+
+// idlePollInterval is how often the idle thread re-checks channels when it
+// found nothing to do. It runs at the weakest possible priority, so this
+// only spends otherwise-idle cycles.
+const idlePollInterval = 250
+
+// idleMain is the minimum-priority kernel thread that "checks NI channels
+// and performs protocol processing for any queued UDP packets" so that an
+// otherwise idle CPU never leaves a packet waiting for the next receive
+// system call.
+func (h *Host) idleMain(p *kernel.Proc) {
+	for {
+		did := false
+		for _, s := range h.sockets {
+			if s.Type != socket.Dgram || s.Closed || s.NIChan == nil || s.Proto != pkt.ProtoUDP {
+				continue
+			}
+			// Leave the packet if a receiver is about to pick it up lazily:
+			// a blocked receiver means nobody is in a receive call, so
+			// process on its behalf.
+			m := s.NIChan.Queue.Dequeue()
+			if m == nil {
+				continue
+			}
+			did = true
+			owner := appOwner(s)
+			d, ok := h.udpLazyInput(p, owner, s, m)
+			if !ok {
+				continue
+			}
+			if g := h.groupOf(s); g != nil {
+				// Shared multicast channel: fan out to every member.
+				h.mcastFanout(p, g, d)
+				continue
+			}
+			p.ComputeSysFor(owner, h.CM.SockQueueCost)
+			if s.RecvDgrams.Enqueue(d) {
+				s.RcvWait.WakeupAll()
+			}
+		}
+		if !did {
+			p.Delay(idlePollInterval)
+		}
+	}
+}
+
+// startICMPDaemon creates the ICMP proxy: a pseudo-socket bound to the
+// ICMP protocol with its own NI channel, drained by a daemon process that
+// is charged for the processing (and whose priority controls it).
+func (h *Host) startICMPDaemon() {
+	s := socket.NewSocket(socket.Dgram, nil)
+	s.Proto = pkt.ProtoICMP
+	s.Local = h.Addr
+	s.RecvDgrams = socket.NewDgramQueue(h.CM.SockQueueLimit)
+	h.sockets = append(h.sockets, s)
+	h.icmpSock = s
+	h.attachChannel(s)
+	h.pcbs.BindProto(pkt.ProtoICMP, s)
+	proc := h.K.Spawn(h.Name+"/icmpd", 0, func(p *kernel.Proc) {
+		s.Owner = p
+		for {
+			m := s.NIChan.Queue.Dequeue()
+			if m == nil {
+				s.NIChan.IntrRequested = true
+				p.Sleep(&s.RcvWait)
+				continue
+			}
+			p.ComputeSys(h.channelDequeueCost() + h.lrpProtoInCost(m.Data))
+			b := m.Data
+			m.Free()
+			whole, done := h.reasm.Input(b, h.Eng.Now())
+			if !done {
+				continue
+			}
+			ih, hlen, err := pkt.DecodeIPv4(whole)
+			if err != nil {
+				continue
+			}
+			h.icmpProcess(&ih, whole[hlen:int(ih.TotalLen)])
+		}
+	})
+	s.Owner = proc
+}
+
+// icmpInput is the eager-path (BSD softint) ICMP handler.
+func (h *Host) icmpInput(ih *pkt.IPv4Header, seg []byte) {
+	h.icmpProcess(ih, seg)
+}
+
+// icmpProcess answers echo requests; everything else is counted and
+// dropped (the stack does not originate errors).
+func (h *Host) icmpProcess(ih *pkt.IPv4Header, seg []byte) {
+	if len(seg) < 8 || seg[0] != 8 { // ICMP echo request
+		h.stats.ProtoDrops++
+		return
+	}
+	if pkt.Checksum(seg) != 0 {
+		h.stats.ProtoDrops++
+		return
+	}
+	h.icmpEchoReplies++
+	reply := make([]byte, pkt.IPv4HeaderLen+len(seg))
+	copy(reply[pkt.IPv4HeaderLen:], seg)
+	r := reply[pkt.IPv4HeaderLen:]
+	r[0] = 0 // echo reply
+	r[2], r[3] = 0, 0
+	ck := pkt.Checksum(r)
+	binary.BigEndian.PutUint16(r[2:], ck)
+	oh := pkt.IPv4Header{
+		TotalLen: uint16(len(reply)),
+		ID:       h.nextIPID(),
+		TTL:      64,
+		Proto:    pkt.ProtoICMP,
+		Src:      h.Addr,
+		Dst:      ih.Src,
+	}
+	pkt.EncodeIPv4(reply, &oh)
+	_ = h.ipOutput(nil, nil, reply)
+}
+
+// EchoReplies returns the number of ICMP echo replies the host has sent.
+func (h *Host) EchoReplies() uint64 { return h.icmpEchoReplies }
+
+// Ping sends an ICMP echo request from process p and returns once it has
+// been transmitted (replies arrive asynchronously; use EchoesReceived on
+// the sender to observe them). payloadLen pads the request.
+func (h *Host) Ping(p *kernel.Proc, dst pkt.Addr, seqno uint16, payloadLen int) {
+	p.ComputeSys(h.CM.SyscallFixed + h.CM.IPOutCost)
+	seg := make([]byte, 8+payloadLen)
+	seg[0] = 8 // echo request
+	binary.BigEndian.PutUint16(seg[6:], seqno)
+	binary.BigEndian.PutUint16(seg[2:], pkt.Checksum(seg))
+	b := make([]byte, pkt.IPv4HeaderLen+len(seg))
+	copy(b[pkt.IPv4HeaderLen:], seg)
+	oh := pkt.IPv4Header{
+		TotalLen: uint16(len(b)),
+		ID:       h.nextIPID(),
+		TTL:      64,
+		Proto:    pkt.ProtoICMP,
+		Src:      h.Addr,
+		Dst:      dst,
+	}
+	pkt.EncodeIPv4(b, &oh)
+	_ = h.ipOutput(p, nil, b)
+}

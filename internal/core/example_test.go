@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"lrp/internal/core"
+	"lrp/internal/kernel"
+	"lrp/internal/netsim"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// Example builds the smallest possible two-host LRP network and runs one
+// UDP round trip through it.
+func Example() {
+	eng := sim.NewEngine()
+	nw := netsim.New(eng)
+	serverAddr := pkt.IP(10, 0, 0, 2)
+	clientAddr := pkt.IP(10, 0, 0, 1)
+	server := core.NewHost(eng, nw, core.Config{Name: "server", Addr: serverAddr, Arch: core.ArchSoftLRP})
+	client := core.NewHost(eng, nw, core.Config{Name: "client", Addr: clientAddr, Arch: core.ArchSoftLRP})
+	defer server.Shutdown()
+	defer client.Shutdown()
+
+	server.K.Spawn("echo", 0, func(p *kernel.Proc) {
+		sock := server.NewUDPSocket(p)
+		_ = server.BindUDP(sock, 7)
+		for {
+			d, err := server.RecvFrom(p, sock)
+			if err != nil {
+				return
+			}
+			_ = server.SendTo(p, sock, d.Src, d.SPort, d.Data)
+		}
+	})
+	client.K.Spawn("client", 0, func(p *kernel.Proc) {
+		sock := client.NewUDPSocket(p)
+		_ = client.BindUDP(sock, 0)
+		_ = client.SendTo(p, sock, serverAddr, 7, []byte("hello"))
+		d, err := client.RecvFrom(p, sock)
+		if err == nil {
+			fmt.Printf("echoed %q\n", d.Data)
+		}
+	})
+	eng.RunFor(sim.Second)
+	// Output:
+	// echoed "hello"
+}

@@ -1,0 +1,112 @@
+package core
+
+// The Mogul & Ramakrishnan polling mitigation (USENIX '96), which the
+// paper's related work compares against: "These techniques avoid receiver
+// livelock by temporarily disabling hardware interrupts and using polling
+// under conditions of overload. Disabling interrupts limits the interrupt
+// rate and causes early packet discard by the network interface. Polling
+// is used to ensure progress by fairly allocating resources among receive
+// and transmit processing." The paper notes its overload stability is
+// comparable to NI-LRP's, but "their system does not achieve traffic
+// separation ... does not attempt to charge resources spent in network
+// processing to the receiving application, and it does not attempt to
+// reduce context switching."
+//
+// The implementation reuses the BSD eager path verbatim; only the
+// interrupt discipline changes. Under overload (receive ring occupancy at
+// or above PollEnterThresh when an interrupt fires), receive interrupts
+// are disabled and a periodic poll admits at most PollBatch packets per
+// PollInterval; arrivals beyond the ring bound die on the adaptor at no
+// host cost. A poll that finds the ring empty re-enables interrupts.
+
+import "lrp/internal/kernel"
+
+// pollingHostIntr is the interrupt-mode receive path: identical to BSD's,
+// plus the overload transition check.
+func (h *Host) pollingHostIntr() {
+	h.K.PostHW(kernel.WorkItem{
+		Cost: h.CM.HWIntrFixed + h.CM.DriverPerPkt,
+		Fn:   h.pollingDriverStep,
+	})
+}
+
+func (h *Host) pollingDriverStep() {
+	if m := h.NIC.RxDequeue(); m != nil {
+		swEmpty := h.K.SWPending() == 0
+		if h.ipq.Enqueue(m) {
+			cost := h.protoInCost(m.Data, true) + h.CM.EagerProtoPenalty
+			if swEmpty {
+				cost += h.CM.SWDispatchFixed
+			}
+			h.K.PostSW(kernel.WorkItem{Cost: cost, Fn: h.bsdSoftint})
+		}
+	}
+	if h.ipq.Len() >= h.CM.PollEnterThresh {
+		// Overload: protocol processing is falling behind (the shared IP
+		// queue is backing up). Switch to polled mode; interrupts stay
+		// off until a poll finds the ring drained.
+		h.enterPolledMode()
+		return
+	}
+	if h.NIC.RxPending() > 0 {
+		h.K.PostHW(kernel.WorkItem{Cost: h.CM.DriverPerPkt, Fn: h.pollingDriverStep})
+	} else {
+		h.NIC.IntrDone()
+	}
+}
+
+// enterPolledMode disables receive interrupts and starts the poll cycle.
+func (h *Host) enterPolledMode() {
+	if h.polled {
+		return
+	}
+	h.polled = true
+	h.stats.PollTransitions++
+	h.NIC.SetIntrEnabled(false)
+	h.NIC.IntrDone()
+	h.Eng.After(h.CM.PollInterval, h.pollPass)
+}
+
+// pollPass runs once per PollInterval in polled mode: admit a bounded
+// batch from the ring (as software-interrupt work, like the BSD driver
+// would), or exit polled mode if the ring is empty.
+func (h *Host) pollPass() {
+	if !h.polled {
+		return
+	}
+	n := h.NIC.RxPending()
+	if n == 0 && h.ipq.Len() == 0 {
+		h.polled = false
+		h.NIC.SetIntrEnabled(true)
+		return
+	}
+	if n == 0 {
+		// Ring drained but protocol work still queued: stay polled.
+		h.Eng.After(h.CM.PollInterval, h.pollPass)
+		return
+	}
+	if n > h.CM.PollBatch {
+		n = h.CM.PollBatch
+	}
+	// The poll's driver work: one fixed dispatch plus per-packet cost,
+	// charged like any interrupt-level work (to whoever runs — polling
+	// does not fix BSD's accounting).
+	h.K.PostSW(kernel.WorkItem{
+		Cost: h.CM.SWDispatchFixed + int64(n)*h.CM.DriverPerPkt,
+		Fn: func() {
+			for i := 0; i < n; i++ {
+				m := h.NIC.RxDequeue()
+				if m == nil {
+					break
+				}
+				if h.ipq.Enqueue(m) {
+					h.K.PostSW(kernel.WorkItem{
+						Cost: h.protoInCost(m.Data, true) + h.CM.EagerProtoPenalty,
+						Fn:   h.bsdSoftint,
+					})
+				}
+			}
+		},
+	})
+	h.Eng.After(h.CM.PollInterval, h.pollPass)
+}

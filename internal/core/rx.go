@@ -1,0 +1,389 @@
+package core
+
+// Receive-path drivers: where each architecture spends host CPU between a
+// packet's arrival and its delivery to a socket. All four paths feed the
+// same protocol code (protoInput, udpInput, tcpInput); they differ in the
+// execution context, the discard point, and the accounting.
+
+import (
+	"lrp/internal/demux"
+	"lrp/internal/kernel"
+	"lrp/internal/mbuf"
+	"lrp/internal/nic"
+	"lrp/internal/pkt"
+	"lrp/internal/socket"
+	"lrp/internal/tcp"
+	"lrp/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// 4.4BSD: interrupt handler -> shared IP queue -> software interrupt ->
+// socket queue. Highest priority to capture, second to protocol
+// processing, lowest to the application.
+
+// bsdHostIntr fires on a ring empty->nonempty transition.
+func (h *Host) bsdHostIntr() {
+	h.K.PostHW(kernel.WorkItem{
+		Cost: h.CM.HWIntrFixed + h.CM.DriverPerPkt,
+		Fn:   h.bsdDriverStep,
+	})
+}
+
+// bsdDriverStep handles one packet in the interrupt handler, then chains
+// to the next ring entry (batching: the fixed dispatch cost is paid once
+// per interrupt, the per-packet cost per packet).
+func (h *Host) bsdDriverStep() {
+	if m := h.NIC.RxDequeue(); m != nil {
+		// Queue on the shared IP queue; drop if full — after the driver
+		// has already invested work in the packet.
+		swEmpty := h.K.SWPending() == 0
+		if h.ipq.Enqueue(m) {
+			cost := h.protoInCost(m.Data, true) + h.CM.EagerProtoPenalty
+			if swEmpty {
+				cost += h.CM.SWDispatchFixed
+			}
+			h.K.PostSW(kernel.WorkItem{Cost: cost, Fn: h.bsdSoftint})
+		}
+	}
+	if h.NIC.RxPending() > 0 {
+		h.K.PostHW(kernel.WorkItem{Cost: h.CM.DriverPerPkt, Fn: h.bsdDriverStep})
+	} else {
+		h.NIC.IntrDone()
+	}
+}
+
+// bsdSoftint performs eager protocol processing for the head of the IP
+// queue (its cost was charged by the posted work item, to whatever process
+// happened to be running — BSD's accounting).
+func (h *Host) bsdSoftint() {
+	m := h.ipq.Dequeue()
+	if m == nil {
+		return
+	}
+	h.protoInput(m, nil)
+}
+
+// ---------------------------------------------------------------------------
+// SOFT-LRP and Early-Demux: demultiplexing in the host interrupt handler.
+
+func (h *Host) demuxHostIntr() {
+	h.K.PostHW(kernel.WorkItem{
+		Cost: h.CM.HWIntrFixed + h.CM.DriverPerPkt + h.headDemuxCost(),
+		Fn:   h.demuxDriverStep,
+	})
+}
+
+func (h *Host) demuxDriverStep() {
+	if m := h.NIC.RxDequeue(); m != nil {
+		h.demuxDeliver(m)
+	}
+	if h.NIC.RxPending() > 0 {
+		h.K.PostHW(kernel.WorkItem{Cost: h.CM.DriverPerPkt + h.headDemuxCost(), Fn: h.demuxDriverStep})
+	} else {
+		h.NIC.IntrDone()
+	}
+}
+
+// headDemuxCost prices the demultiplexing of the packet the next driver
+// step will dequeue (data-dependent under interpreted filter demux).
+func (h *Host) headDemuxCost() int64 {
+	if h.filterDemux == nil {
+		return h.CM.DemuxCost
+	}
+	m := h.NIC.RxPeek()
+	if m == nil {
+		return h.CM.DemuxCost
+	}
+	return h.demuxCostFor(m.Data)
+}
+
+// niDemuxProcess runs on the NIC's embedded processor (NI-LRP): the packet
+// has already paid the NIC's per-packet cost; classification costs the
+// host nothing.
+func (h *Host) niDemuxProcess(m *mbuf.Mbuf) {
+	h.demuxDeliver(m)
+}
+
+// demuxDeliver classifies a packet and places it on the right NI channel
+// (or socket queue for Early-Demux). Runs in host interrupt context
+// (SOFT-LRP, Early-Demux) or on the NIC processor (NI-LRP).
+func (h *Host) demuxDeliver(m *mbuf.Mbuf) {
+	sock, v := h.pcbs.Classify(m.Data, h.Eng.Now())
+	if (v == demux.Match || v == demux.NoMatch) && h.forwarding && h.isForeign(m.Data) {
+		// Transit traffic. (A Match can occur when a local port number
+		// coincides with a foreign packet's; the address check wins.)
+		h.deliverForeign(m)
+		return
+	}
+	h.Trace.Add(trace.KindDemux, "%s: verdict=%v", h.Name, v)
+	switch v {
+	case demux.Malformed:
+		h.stats.MalformedDrops++
+		h.Trace.Add(trace.KindDrop, "%s: malformed", h.Name)
+		m.Free()
+		return
+	case demux.NoMatch:
+		h.stats.NoMatchDrops++
+		h.Trace.Add(trace.KindDrop, "%s: no endpoint", h.Name)
+		m.Free()
+		return
+	case demux.FragMiss:
+		// Fragment with no mapping yet: the special fragment channel,
+		// consulted by reassembly when it misses fragments.
+		h.fragChan.Deliver(m)
+		return
+	}
+
+	if h.Arch == ArchEarlyDemux {
+		h.earlyDemuxDeliver(sock, m)
+		return
+	}
+
+	ch := sock.NIChan
+	if ch == nil {
+		// Socket exists but has no channel (race with close).
+		h.stats.NoMatchDrops++
+		m.Free()
+		return
+	}
+	wasEmpty, ok := ch.Deliver(m)
+	if !ok {
+		h.Trace.Add(trace.KindDrop, "%s: early discard at channel port %d", h.Name, sock.LPort)
+		return // early discard (counted on the channel)
+	}
+	if wasEmpty && ch.IntrRequested {
+		h.channelSignal(sock, ch)
+	}
+}
+
+// channelSignal reacts to a channel's empty->nonempty transition when the
+// receiver asked for interrupts: wake the receiver (UDP) or schedule
+// asynchronous protocol processing (TCP). Under NI-LRP this requires an
+// actual (minimal) host interrupt; under soft demux we are already in one.
+func (h *Host) channelSignal(sock *socket.Socket, ch *nic.Channel) {
+	// One signal per empty->nonempty transition: the APP thread (TCP) or
+	// the woken receiver (UDP) re-requests interrupts when it next needs
+	// them.
+	ch.IntrRequested = false
+	act := func() {
+		switch {
+		case sock.Type == socket.Stream:
+			h.queueChannelWork(sock)
+		default:
+			if g := h.groupOf(sock); g != nil {
+				// Shared (multicast) channel: wake the highest-priority
+				// member with a sleeping receiver.
+				h.mcastSignal(g)
+				return
+			}
+			// "the process with the highest priority performs the
+			// protocol processing"
+			sock.RcvWait.WakeupBest()
+		}
+	}
+	if h.Arch == ArchNILRP {
+		// The NIC raises a minimal host interrupt. Its cost is charged to
+		// the socket's owner: the receiver caused this work, and LRP
+		// accounts network processing to the process that receives the
+		// traffic.
+		h.NIC.RaiseIntr()
+		h.K.PostHW(kernel.WorkItem{Cost: h.CM.HWIntrFixed, ChargeTo: sock.Owner, Fn: act})
+	} else {
+		act()
+	}
+}
+
+// earlyDemuxDeliver implements the paper's Early-Demux ablation: drop
+// immediately if the destination socket cannot accept more data, otherwise
+// schedule conventional (eager, softint, BSD-accounted) processing.
+func (h *Host) earlyDemuxDeliver(sock *socket.Socket, m *mbuf.Mbuf) {
+	if sock.Type == socket.Dgram && sock.RecvDgrams != nil && sock.RecvDgrams.Full() {
+		h.stats.EarlyDrops++
+		m.Free()
+		return
+	}
+	if sock.Type == socket.Stream && sock.Listening {
+		if c, ok := sock.Conn.(*tcp.Conn); ok && c.BacklogFull() && isSYN(m.Data) {
+			h.stats.EarlyDrops++
+			m.Free()
+			return
+		}
+	}
+	swEmpty := h.K.SWPending() == 0
+	// PCB lookup is bypassed: the demultiplexer already identified the
+	// socket ("Due to the early demultiplexing, UDP's PCB lookup was
+	// bypassed, as in the LRP kernels").
+	cost := h.protoInCost(m.Data, false) + h.CM.EagerProtoPenalty
+	if swEmpty {
+		cost += h.CM.SWDispatchFixed
+	}
+	h.K.PostSW(kernel.WorkItem{Cost: cost, Fn: func() { h.protoInput(m, sock) }})
+}
+
+// deliverForeign hands transit traffic to the forwarding machinery: the
+// LRP forwarding daemon's channel (early discard when the daemon cannot
+// keep up), or an eager software interrupt under Early-Demux.
+func (h *Host) deliverForeign(m *mbuf.Mbuf) {
+	if h.Arch.IsLRP() {
+		ch := h.fwdSock.NIChan
+		wasEmpty, ok := ch.Deliver(m)
+		if ok && wasEmpty && ch.IntrRequested {
+			h.channelSignal(h.fwdSock, ch)
+		}
+		return
+	}
+	// Early-Demux: conventional eager forwarding.
+	swEmpty := h.K.SWPending() == 0
+	cost := h.CM.IPInCost + h.CM.IPOutCost
+	if swEmpty {
+		cost += h.CM.SWDispatchFixed
+	}
+	h.K.PostSW(kernel.WorkItem{Cost: cost, Fn: func() {
+		b := m.Data
+		m.Free()
+		h.forwardPacket(b)
+	}})
+}
+
+// isSYN reports whether a raw packet is a TCP SYN (no ACK).
+func isSYN(b []byte) bool {
+	ih, hlen, err := pkt.DecodeIPv4(b)
+	if err != nil || ih.Proto != pkt.ProtoTCP || ih.IsFragment() {
+		return false
+	}
+	seg := b[hlen:int(ih.TotalLen)]
+	if len(seg) < pkt.TCPHeaderLen {
+		return false
+	}
+	fl := seg[13]
+	return fl&pkt.TCPSyn != 0 && fl&pkt.TCPAck == 0
+}
+
+// ---------------------------------------------------------------------------
+// Shared protocol input (the "same 4.4BSD networking code" of the paper).
+
+// protoInput performs full protocol input processing for one raw packet.
+// sockHint, when non-nil, identifies the destination (early demux did the
+// lookup); otherwise a PCB lookup resolves it. The CPU cost was accounted
+// by the caller's context.
+func (h *Host) protoInput(m *mbuf.Mbuf, sockHint *socket.Socket) {
+	b := m.Data
+	arrival := m.Arrival
+	m.Free()
+	whole, done := h.reasm.Input(b, h.Eng.Now())
+	if !done {
+		return
+	}
+	ih, hlen, err := pkt.DecodeIPv4(whole)
+	if err != nil {
+		h.stats.MalformedDrops++
+		return
+	}
+	if ih.Dst != h.Addr && !ih.Dst.IsMulticast() {
+		// Not ours: forward (in this — softint — context, charged to
+		// whoever runs, under the eager architectures) or drop.
+		if h.forwarding {
+			h.forwardPacket(whole)
+		} else {
+			h.stats.NoMatchDrops++
+		}
+		return
+	}
+	seg := whole[hlen:int(ih.TotalLen)]
+	switch ih.Proto {
+	case pkt.ProtoUDP:
+		h.udpInput(&ih, seg, arrival, sockHint)
+	case pkt.ProtoTCP:
+		h.tcpInput(&ih, seg, sockHint)
+	case pkt.ProtoICMP:
+		h.icmpInput(&ih, seg)
+	default:
+		h.stats.NoMatchDrops++
+	}
+}
+
+// udpInput validates a UDP datagram and appends it to the destination
+// socket queue.
+func (h *Host) udpInput(ih *pkt.IPv4Header, seg []byte, arrival int64, sock *socket.Socket) {
+	uh, err := pkt.DecodeUDP(seg, ih.Src, ih.Dst)
+	if err != nil {
+		if sock != nil {
+			sock.Stats.ProtoDrops++
+		} else {
+			h.stats.ProtoDrops++
+		}
+		return
+	}
+	if sock == nil {
+		s, v := h.lookupSocket(ih, uh.SrcPort, uh.DstPort)
+		if v != demux.Match {
+			h.stats.NoMatchDrops++
+			return
+		}
+		sock = s
+	}
+	if sock.Closed || sock.RecvDgrams == nil {
+		h.stats.NoMatchDrops++
+		return
+	}
+	d := socket.Datagram{
+		Data:    seg[pkt.UDPHeaderLen:int(uh.Length)],
+		Src:     ih.Src,
+		SPort:   uh.SrcPort,
+		Arrival: arrival,
+	}
+	if g := h.groupOf(sock); g != nil {
+		// Multicast: fan the datagram out to every member socket.
+		h.mcastFanout(nil, g, d)
+		return
+	}
+	if !sock.RecvDgrams.Enqueue(d) {
+		h.Trace.Add(trace.KindDrop, "%s: socket queue overflow port %d", h.Name, sock.LPort)
+		return // socket queue overflow (counted on the queue)
+	}
+	h.Trace.Add(trace.KindDeliver, "%s: udp %d bytes -> port %d", h.Name, len(d.Data), sock.LPort)
+	sock.Stats.RxDelivered++
+	sock.Stats.RxBytes += uint64(len(d.Data))
+	sock.RcvWait.WakeupAll()
+}
+
+// tcpInput validates a TCP segment and hands it to the connection state
+// machine.
+func (h *Host) tcpInput(ih *pkt.IPv4Header, seg []byte, sock *socket.Socket) {
+	th, off, err := pkt.DecodeTCP(seg, ih.Src, ih.Dst)
+	if err != nil {
+		if sock != nil {
+			sock.Stats.ProtoDrops++
+		} else {
+			h.stats.ProtoDrops++
+		}
+		return
+	}
+	if sock == nil {
+		s, v := h.lookupSocket(ih, th.SrcPort, th.DstPort)
+		if v != demux.Match {
+			// No endpoint: a real stack would answer RST; the overload
+			// experiments only need the drop.
+			h.stats.NoMatchDrops++
+			return
+		}
+		sock = s
+	}
+	c, ok := sock.Conn.(*tcp.Conn)
+	if !ok || c == nil {
+		h.stats.NoMatchDrops++
+		return
+	}
+	c.Input(ih.Src, &th, seg[off:])
+}
+
+// lookupSocket performs the BSD PCB lookup (exact then wildcard).
+func (h *Host) lookupSocket(ih *pkt.IPv4Header, sport, dport uint16) (*socket.Socket, demux.Verdict) {
+	if s, ok := h.pcbs.LookupConnected(ih.Proto, ih.Dst, dport, ih.Src, sport); ok {
+		return s, demux.Match
+	}
+	if s, ok := h.pcbs.LookupListen(ih.Proto, ih.Dst, dport); ok {
+		return s, demux.Match
+	}
+	return nil, demux.NoMatch
+}

@@ -1,0 +1,216 @@
+package core
+
+// TCP system calls. As in the paper, transmit-side processing happens in
+// the sender's context; receive-side processing happens in softint context
+// (BSD/Early-Demux) or in the APP thread (LRP), so these calls mainly
+// block on protocol events.
+
+import (
+	"lrp/internal/demux"
+	"lrp/internal/kernel"
+	"lrp/internal/pkt"
+	"lrp/internal/socket"
+	"lrp/internal/tcp"
+)
+
+// NewTCPSocket creates a stream socket owned by owner.
+func (h *Host) NewTCPSocket(owner *kernel.Proc) *socket.Socket {
+	s := socket.NewSocket(socket.Stream, owner)
+	s.Local = h.Addr
+	h.sockets = append(h.sockets, s)
+	return s
+}
+
+// BindTCP reserves a local TCP port for s (0 allocates ephemeral).
+func (h *Host) BindTCP(s *socket.Socket, port uint16) error {
+	if s.Bound {
+		return ErrPortInUse
+	}
+	if port == 0 {
+		port = h.allocPort()
+	} else if _, used := h.pcbs.LookupListen(pkt.ProtoTCP, pkt.Addr{}, port); used {
+		return ErrPortInUse
+	}
+	s.LPort = port
+	s.Bound = true
+	return nil
+}
+
+// Listen puts s into the listening state with the given backlog, binding
+// the wildcard demux entry and (LRP) the listen channel.
+func (h *Host) Listen(p *kernel.Proc, s *socket.Socket, backlog int) error {
+	if !s.Bound {
+		if err := h.BindTCP(s, 0); err != nil {
+			return err
+		}
+	}
+	if p != nil {
+		p.ComputeSys(h.CM.SyscallFixed)
+	}
+	c := tcp.NewConn(&h.hooks, h.Addr, s.LPort, pkt.Addr{}, 0, h.nextISS())
+	c.UserData = s
+	c.ListenOn(backlog)
+	s.Conn = c
+	s.Listening = true
+	s.Backlog = backlog
+	h.pcbs.BindListen(pkt.ProtoTCP, pkt.Addr{}, s.LPort, s)
+	h.registerFilter(s, demux.CompileTCPPortFilter(s.LPort))
+	h.attachChannel(s)
+	return nil
+}
+
+// Accept blocks until an established connection is available on listener
+// l and returns its socket.
+func (h *Host) Accept(p *kernel.Proc, l *socket.Socket) (*socket.Socket, error) {
+	if !l.Listening {
+		return nil, ErrNotListening
+	}
+	p.ComputeSys(h.CM.SyscallFixed)
+	lc := l.Conn.(*tcp.Conn)
+	for {
+		if l.Closed {
+			return nil, ErrClosed
+		}
+		if nc, ok := lc.Accept(); ok {
+			h.syncListenChannel(l)
+			ns := connSocket(nc)
+			ns.Connected = true
+			return ns, nil
+		}
+		p.Sleep(&l.AcceptWait)
+	}
+}
+
+// ConnectTCP performs an active open and blocks until the connection is
+// established or fails.
+func (h *Host) ConnectTCP(p *kernel.Proc, s *socket.Socket, raddr pkt.Addr, rport uint16) error {
+	if !s.Bound {
+		if err := h.BindTCP(s, 0); err != nil {
+			return err
+		}
+	}
+	p.ComputeSys(h.CM.SyscallFixed + h.CM.TCPOutCost + h.CM.IPOutCost)
+	s.Remote = raddr
+	s.RPort = rport
+	c := tcp.NewConn(&h.hooks, h.Addr, s.LPort, raddr, rport, h.nextISS())
+	c.UserData = s
+	s.Conn = c
+	h.pcbs.BindConnected(pkt.ProtoTCP, h.Addr, s.LPort, raddr, rport, s)
+	h.attachChannel(s)
+	c.Connect()
+	for {
+		switch c.State {
+		case tcp.Established:
+			s.Connected = true
+			return nil
+		case tcp.Closed:
+			return ErrConnRefused
+		}
+		p.Sleep(&s.SndWait)
+	}
+}
+
+// SendStream writes data on a connected stream socket, blocking until all
+// of it is accepted by the send buffer.
+func (h *Host) SendStream(p *kernel.Proc, s *socket.Socket, data []byte) (int, error) {
+	c, ok := s.Conn.(*tcp.Conn)
+	if !ok {
+		return 0, ErrNotBound
+	}
+	p.ComputeSys(h.CM.SyscallFixed)
+	total := 0
+	for len(data) > 0 {
+		if s.Closed {
+			return total, ErrClosed
+		}
+		switch c.State {
+		case tcp.Closed:
+			return total, ErrConnReset
+		case tcp.Established, tcp.CloseWait:
+		default:
+			return total, ErrClosed
+		}
+		n := c.Write(data)
+		if n > 0 {
+			segs := int64(n/c.MSS) + 1
+			p.ComputeSys(h.CM.CopyCost(n) + h.CM.ChecksumCost(n) + segs*(h.CM.TCPOutCost+h.CM.IPOutCost))
+			total += n
+			data = data[n:]
+			continue
+		}
+		p.Sleep(&s.SndWait)
+	}
+	return total, nil
+}
+
+// RecvStream reads up to max bytes, blocking until data, EOF, or error.
+// It returns n==0 with nil error at end of stream.
+func (h *Host) RecvStream(p *kernel.Proc, s *socket.Socket, max int) ([]byte, error) {
+	c, ok := s.Conn.(*tcp.Conn)
+	if !ok {
+		return nil, ErrNotBound
+	}
+	p.ComputeSys(h.CM.SyscallFixed)
+	for {
+		if s.Closed {
+			return nil, ErrClosed
+		}
+		n, fin := c.Readable()
+		if n > 0 {
+			data := c.Read(max)
+			p.ComputeSys(h.CM.CopyCost(len(data)))
+			return data, nil
+		}
+		if fin {
+			return nil, nil // EOF
+		}
+		if c.State == tcp.Closed {
+			return nil, ErrConnReset
+		}
+		p.Sleep(&s.RcvWait)
+	}
+}
+
+// CloseTCP closes a stream socket: orderly close for connections, released
+// state for listeners.
+func (h *Host) CloseTCP(p *kernel.Proc, s *socket.Socket) {
+	if s.Closed {
+		return
+	}
+	if p != nil {
+		p.ComputeSys(h.CM.SyscallFixed)
+	}
+	if c, ok := s.Conn.(*tcp.Conn); ok {
+		if s.Listening {
+			s.Closed = true
+			c.Close() // triggers Dealloc, which unbinds
+		} else {
+			c.Close()
+			// The socket stays usable for draining received data until the
+			// protocol finishes; mark it closed for new operations only
+			// when fully dead.
+		}
+	} else {
+		s.Closed = true
+	}
+	s.AcceptWait.WakeupAll()
+}
+
+// AbortTCP resets the connection immediately.
+func (h *Host) AbortTCP(p *kernel.Proc, s *socket.Socket) {
+	if c, ok := s.Conn.(*tcp.Conn); ok {
+		if p != nil {
+			p.ComputeSys(h.CM.SyscallFixed + h.CM.TCPOutCost)
+		}
+		c.Abort()
+	}
+	s.Closed = true
+}
+
+// ConnOf returns the TCP connection behind a stream socket (nil if none).
+func ConnOf(s *socket.Socket) *tcp.Conn {
+	if c, ok := s.Conn.(*tcp.Conn); ok {
+		return c
+	}
+	return nil
+}

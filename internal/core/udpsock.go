@@ -1,0 +1,307 @@
+package core
+
+// UDP socket system calls. The receive path is where the architectures
+// diverge: under BSD and Early-Demux, datagrams were already processed by
+// a software interrupt and sit in the socket queue; under LRP, raw packets
+// wait on the socket's NI channel and are processed lazily here, in the
+// context (and at the expense) of the receiving process.
+
+import (
+	"errors"
+
+	"lrp/internal/demux"
+	"lrp/internal/ipv4"
+	"lrp/internal/kernel"
+	"lrp/internal/mbuf"
+	"lrp/internal/pkt"
+	"lrp/internal/socket"
+)
+
+// Socket-layer errors.
+var (
+	ErrClosed       = errors.New("core: socket closed")
+	ErrNotBound     = errors.New("core: socket not bound")
+	ErrPortInUse    = errors.New("core: port in use")
+	ErrNoBufs       = errors.New("core: out of mbufs")
+	ErrConnRefused  = errors.New("core: connection refused")
+	ErrConnTimedOut = errors.New("core: connection timed out")
+	ErrConnReset    = errors.New("core: connection reset")
+	ErrNotListening = errors.New("core: socket not listening")
+)
+
+// NewUDPSocket creates a datagram socket owned by owner.
+func (h *Host) NewUDPSocket(owner *kernel.Proc) *socket.Socket {
+	s := socket.NewSocket(socket.Dgram, owner)
+	s.RecvDgrams = socket.NewDgramQueue(h.CM.SockQueueLimit)
+	s.Local = h.Addr
+	h.sockets = append(h.sockets, s)
+	return s
+}
+
+// BindUDP binds s to a local port (0 allocates an ephemeral port). On LRP
+// hosts this also creates the socket's NI channel ("When a socket is bound
+// to a local port... an NI channel is created").
+func (h *Host) BindUDP(s *socket.Socket, port uint16) error {
+	if s.Bound {
+		return ErrPortInUse
+	}
+	if port == 0 {
+		port = h.allocPort()
+	} else if _, used := h.pcbs.LookupListen(pkt.ProtoUDP, pkt.Addr{}, port); used {
+		return ErrPortInUse
+	}
+	s.LPort = port
+	s.Bound = true
+	h.pcbs.BindListen(pkt.ProtoUDP, pkt.Addr{}, port, s)
+	h.registerFilter(s, demux.CompileUDPPortFilter(port))
+	h.attachChannel(s)
+	return nil
+}
+
+// ConnectUDP fixes the remote address of a datagram socket, installing an
+// exact demultiplexing entry.
+func (h *Host) ConnectUDP(s *socket.Socket, raddr pkt.Addr, rport uint16) error {
+	if !s.Bound {
+		if err := h.BindUDP(s, 0); err != nil {
+			return err
+		}
+	}
+	s.Remote = raddr
+	s.RPort = rport
+	s.Connected = true
+	h.pcbs.BindConnected(pkt.ProtoUDP, h.Addr, s.LPort, raddr, rport, s)
+	return nil
+}
+
+// SendTo transmits a datagram. All architectures perform transmit-side
+// processing in the sender's context, as BSD does.
+func (h *Host) SendTo(p *kernel.Proc, s *socket.Socket, dst pkt.Addr, dport uint16, data []byte) error {
+	if s.Closed {
+		return ErrClosed
+	}
+	if !s.Bound {
+		if err := h.BindUDP(s, 0); err != nil {
+			return err
+		}
+	}
+	cost := h.CM.SyscallFixed + h.CM.CopyCost(len(data)) + h.CM.UDPOutCost + h.CM.IPOutCost
+	if !s.NoUDPChecksum {
+		cost += h.CM.ChecksumCost(len(data))
+	}
+	p.ComputeSys(cost)
+	b := pkt.UDPPacket(h.Addr, dst, s.LPort, dport, h.nextIPID(), 64, data, !s.NoUDPChecksum)
+	return h.ipOutput(p, s, b)
+}
+
+// Send transmits on a connected datagram socket.
+func (h *Host) Send(p *kernel.Proc, s *socket.Socket, data []byte) error {
+	if !s.Connected {
+		return ErrNotBound
+	}
+	return h.SendTo(p, s, s.Remote, s.RPort, data)
+}
+
+// ipOutput fragments (charging per extra fragment) and queues packets on
+// the interface.
+func (h *Host) ipOutput(p *kernel.Proc, s *socket.Socket, b []byte) error {
+	frags := [][]byte{b}
+	if len(b) > h.MTU {
+		frags = ipv4.Fragment(b, h.MTU)
+		if frags == nil {
+			return ErrNoBufs
+		}
+		if p != nil && len(frags) > 1 {
+			p.ComputeSys(int64(len(frags)-1) * h.CM.IPOutCost)
+		}
+	}
+	for _, f := range frags {
+		m := h.Pool.Alloc(f)
+		if m == nil {
+			if s != nil {
+				s.Stats.ProtoDrops++
+			}
+			return ErrNoBufs
+		}
+		if s != nil {
+			s.Stats.TxPackets++
+			s.Stats.TxBytes += uint64(len(f))
+		}
+		h.NIC.Send(m)
+	}
+	return nil
+}
+
+// RecvFrom blocks until a datagram is available and returns it. Under LRP,
+// protocol processing for queued raw packets happens here — "in the
+// context of the user process performing the system call".
+func (h *Host) RecvFrom(p *kernel.Proc, s *socket.Socket) (socket.Datagram, error) {
+	p.ComputeSys(h.CM.SyscallFixed)
+	if g := h.mcastMember[s]; g != nil {
+		return h.mcastRecvFrom(p, s, g)
+	}
+	for {
+		if s.Closed {
+			return socket.Datagram{}, ErrClosed
+		}
+		// Already-processed datagrams first (softint under BSD/Early-Demux;
+		// the idle thread under LRP).
+		if d, ok := s.RecvDgrams.Dequeue(); ok {
+			p.ComputeSys(h.CM.SockQueueCost + h.CM.CopyCost(len(d.Data)))
+			return d, nil
+		}
+		// LRP lazy path: raw packets on the NI channel.
+		if s.NIChan != nil {
+			if m := s.NIChan.Queue.Dequeue(); m != nil {
+				d, ok := h.udpLazyInput(p, p, s, m)
+				if !ok {
+					continue // bad packet; keep trying
+				}
+				p.ComputeSys(h.CM.CopyCost(len(d.Data)))
+				return d, nil
+			}
+			s.NIChan.IntrRequested = true
+		}
+		p.Sleep(&s.RcvWait)
+	}
+}
+
+// RecvFromTimeout is RecvFrom with a deadline: it returns ok=false if no
+// datagram arrives within timeout µs.
+func (h *Host) RecvFromTimeout(p *kernel.Proc, s *socket.Socket, timeout int64) (socket.Datagram, bool, error) {
+	deadline := h.Eng.Now() + timeout
+	p.ComputeSys(h.CM.SyscallFixed)
+	for {
+		if s.Closed {
+			return socket.Datagram{}, false, ErrClosed
+		}
+		if d, ok := s.RecvDgrams.Dequeue(); ok {
+			p.ComputeSys(h.CM.SockQueueCost + h.CM.CopyCost(len(d.Data)))
+			return d, true, nil
+		}
+		if s.NIChan != nil {
+			if m := s.NIChan.Queue.Dequeue(); m != nil {
+				d, ok := h.udpLazyInput(p, p, s, m)
+				if !ok {
+					continue
+				}
+				p.ComputeSys(h.CM.CopyCost(len(d.Data)))
+				return d, true, nil
+			}
+			s.NIChan.IntrRequested = true
+		}
+		remain := deadline - h.Eng.Now()
+		if remain <= 0 {
+			return socket.Datagram{}, false, nil
+		}
+		if p.SleepTimeout(&s.RcvWait, remain) {
+			return socket.Datagram{}, false, nil
+		}
+	}
+}
+
+// TryRecvFrom is the non-blocking variant; ok reports whether a datagram
+// was available.
+func (h *Host) TryRecvFrom(p *kernel.Proc, s *socket.Socket) (socket.Datagram, bool) {
+	p.ComputeSys(h.CM.SyscallFixed)
+	if d, ok := s.RecvDgrams.Dequeue(); ok {
+		p.ComputeSys(h.CM.SockQueueCost + h.CM.CopyCost(len(d.Data)))
+		return d, true
+	}
+	if s.NIChan != nil {
+		if m := s.NIChan.Queue.Dequeue(); m != nil {
+			if d, ok := h.udpLazyInput(p, p, s, m); ok {
+				p.ComputeSys(h.CM.CopyCost(len(d.Data)))
+				return d, true
+			}
+		}
+	}
+	return socket.Datagram{}, false
+}
+
+// udpLazyInput performs IP+UDP receive processing for one raw packet in
+// process context. CPU is consumed by p but charged to owner (identical to
+// p for a process in a receive call; the socket owner when the idle thread
+// processes on its behalf). It consults the fragment channel when
+// reassembly is missing pieces.
+func (h *Host) udpLazyInput(p, owner *kernel.Proc, s *socket.Socket, m *mbuf.Mbuf) (socket.Datagram, bool) {
+	p.ComputeSysFor(owner, h.channelDequeueCost()+h.lrpProtoInCost(m.Data))
+	b := m.Data
+	arrival := m.Arrival
+	m.Free()
+	whole, done := h.reasm.Input(b, h.Eng.Now())
+	if !done {
+		whole, done = h.drainFragChannelFor(p, owner, b)
+		if !done {
+			return socket.Datagram{}, false
+		}
+	}
+	ih, hlen, err := pkt.DecodeIPv4(whole)
+	if err != nil || ih.Proto != pkt.ProtoUDP {
+		s.Stats.ProtoDrops++
+		return socket.Datagram{}, false
+	}
+	seg := whole[hlen:int(ih.TotalLen)]
+	uh, err := pkt.DecodeUDP(seg, ih.Src, ih.Dst)
+	if err != nil {
+		s.Stats.ProtoDrops++
+		return socket.Datagram{}, false
+	}
+	s.Stats.RxDelivered++
+	s.Stats.RxBytes += uint64(int(uh.Length) - pkt.UDPHeaderLen)
+	return socket.Datagram{
+		Data:    seg[pkt.UDPHeaderLen:int(uh.Length)],
+		Src:     ih.Src,
+		SPort:   uh.SrcPort,
+		Arrival: arrival,
+	}, true
+}
+
+// drainFragChannelFor feeds packets from the special fragment channel to
+// the reassembler ("The IP reassembly function checks this channel queue
+// when it misses fragments during reassembly"). Returns a completed
+// datagram if one emerges. p may be nil (engine-context callers that
+// pre-charged).
+func (h *Host) drainFragChannelFor(p, owner *kernel.Proc, trigger []byte) ([]byte, bool) {
+	if h.fragChan == nil {
+		return nil, false
+	}
+	ih, _, err := pkt.DecodeIPv4(trigger)
+	if err != nil || !h.reasm.MissingFor(ih.Src, ih.Dst, ih.ID, ih.Proto) {
+		return nil, false
+	}
+	for {
+		fm := h.fragChan.Queue.Dequeue()
+		if fm == nil {
+			return nil, false
+		}
+		if p != nil {
+			p.ComputeSysFor(owner, h.CM.IPInCost)
+		}
+		fb := fm.Data
+		fm.Free()
+		if whole, done := h.reasm.Input(fb, h.Eng.Now()); done {
+			return whole, true
+		}
+	}
+}
+
+// CloseUDP closes a datagram socket, releasing its port, channel and any
+// queued data.
+func (h *Host) CloseUDP(p *kernel.Proc, s *socket.Socket) {
+	if s.Closed {
+		return
+	}
+	if p != nil {
+		p.ComputeSys(h.CM.SyscallFixed)
+	}
+	s.Closed = true
+	if s.Bound {
+		h.pcbs.UnbindListen(pkt.ProtoUDP, pkt.Addr{}, s.LPort)
+		h.unregisterFilter(s)
+	}
+	if s.Connected {
+		h.pcbs.UnbindConnected(pkt.ProtoUDP, h.Addr, s.LPort, s.Remote, s.RPort)
+	}
+	h.detachChannel(s)
+	s.RcvWait.WakeupAll()
+}

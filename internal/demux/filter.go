@@ -1,0 +1,180 @@
+package demux
+
+// An interpreted packet-filter classifier, in the style of the
+// CSPF/BPF/MPF lineage the paper's related work discusses ([12, 18, 25]).
+// User-level network subsystems of the era demultiplexed with interpreted
+// filters like this one; the paper notes that compared with LRP's
+// hand-coded demux function "the overhead is likely to be high, and
+// livelock protection poor". The Filter VM exists so that claim can be
+// measured: FilterTable classifies by running one small filter program
+// per bound endpoint until one accepts, and reports the interpreter work
+// so hosts can charge proportional demux cost.
+//
+// The instruction set is a minimal BPF-like accumulator machine:
+//
+//	LDB  off        A = pkt[off]          (out-of-range load: reject)
+//	LDH  off        A = be16(pkt[off:])
+//	JEQ  k, jt, jf  pc += (A == k) ? jt : jf
+//	AND  k          A &= k
+//	RSH  k          A >>= k
+//	RET  k          accept (k != 0) or reject (k == 0)
+
+// Op is a filter opcode.
+type Op uint8
+
+// Filter opcodes.
+const (
+	OpLDB Op = iota
+	OpLDH
+	OpJEQ
+	OpAND
+	OpRSH
+	OpRET
+)
+
+// Insn is one filter instruction.
+type Insn struct {
+	Op     Op
+	K      uint32
+	Jt, Jf uint8
+}
+
+// Program is a filter program.
+type Program []Insn
+
+// maxFilterSteps bounds execution so malformed programs terminate.
+const maxFilterSteps = 256
+
+// exec interprets the program, returning the verdict and the number of
+// instructions executed (the cost driver for interpreted demux).
+func (p Program) exec(pkt []byte) (accept bool, steps int) {
+	var a uint32
+	pc := 0
+	for steps < maxFilterSteps && pc < len(p) {
+		in := p[pc]
+		pc++
+		steps++
+		switch in.Op {
+		case OpLDB:
+			if int(in.K) >= len(pkt) {
+				return false, steps
+			}
+			a = uint32(pkt[in.K])
+		case OpLDH:
+			if int(in.K)+1 >= len(pkt) {
+				return false, steps
+			}
+			a = uint32(pkt[in.K])<<8 | uint32(pkt[in.K+1])
+		case OpJEQ:
+			if a == in.K {
+				pc += int(in.Jt)
+			} else {
+				pc += int(in.Jf)
+			}
+		case OpAND:
+			a &= in.K
+		case OpRSH:
+			a >>= in.K
+		case OpRET:
+			return in.K != 0, steps
+		default:
+			return false, steps
+		}
+	}
+	return false, steps
+}
+
+// Run executes the program against a packet and reports acceptance.
+func (p Program) Run(pkt []byte) bool {
+	ok, _ := p.exec(pkt)
+	return ok
+}
+
+// CompileUDPPortFilter builds the classic "IPv4/UDP to my port" filter
+// (rejecting non-first fragments and packets with IP options, as the
+// simple filters of the era did).
+func CompileUDPPortFilter(port uint16) Program {
+	return compilePortFilter(17, port)
+}
+
+// CompileTCPPortFilter accepts IPv4/TCP packets to the given port.
+func CompileTCPPortFilter(port uint16) Program {
+	return compilePortFilter(6, port)
+}
+
+func compilePortFilter(proto byte, port uint16) Program {
+	return Program{
+		// Version/IHL byte: version must be 4, IHL must be 5 (the
+		// fixed-offset filters of the era punted on IP options).
+		{Op: OpLDB, K: 0},
+		{Op: OpJEQ, K: 0x45, Jt: 0, Jf: 7}, // -> RET 0
+		// Protocol.
+		{Op: OpLDB, K: 9},
+		{Op: OpJEQ, K: uint32(proto), Jt: 0, Jf: 5}, // -> RET 0
+		// Non-first fragments carry no transport header.
+		{Op: OpLDH, K: 6},
+		{Op: OpAND, K: 0x1fff},
+		{Op: OpJEQ, K: 0, Jt: 0, Jf: 2}, // -> RET 0
+		// Destination port at 20+2.
+		{Op: OpLDH, K: 22},
+		{Op: OpJEQ, K: uint32(port), Jt: 1, Jf: 0},
+		{Op: OpRET, K: 0},
+		{Op: OpRET, K: 1},
+	}
+}
+
+// FilterTable classifies by running each bound endpoint's filter program
+// in order — the linear-scan structure of the early packet-filter
+// systems. (MPF later merged common prefixes; this is the baseline the
+// paper's related work worries about.)
+type FilterTable[E any] struct {
+	entries []filterEntry[E]
+	// StepsExecuted accumulates interpreter steps across all lookups.
+	StepsExecuted uint64
+	Lookups       uint64
+}
+
+type filterEntry[E any] struct {
+	prog Program
+	ep   E
+}
+
+// NewFilterTable returns an empty filter table.
+func NewFilterTable[E any]() *FilterTable[E] {
+	return &FilterTable[E]{}
+}
+
+// Bind appends a filter program for an endpoint and returns its handle
+// for Unbind.
+func (t *FilterTable[E]) Bind(prog Program, ep E) int {
+	t.entries = append(t.entries, filterEntry[E]{prog: prog, ep: ep})
+	return len(t.entries) - 1
+}
+
+// Unbind removes the entry at the handle returned by Bind. Handles of
+// later entries shift down, as in a simple filter list.
+func (t *FilterTable[E]) Unbind(handle int) {
+	if handle < 0 || handle >= len(t.entries) {
+		return
+	}
+	t.entries = append(t.entries[:handle], t.entries[handle+1:]...)
+}
+
+// Len returns the number of bound filters.
+func (t *FilterTable[E]) Len() int { return len(t.entries) }
+
+// Classify runs the filters in order; the first acceptor wins. steps is
+// the total interpreter work performed, for cost accounting.
+func (t *FilterTable[E]) Classify(pkt []byte) (ep E, ok bool, steps int) {
+	t.Lookups++
+	for _, e := range t.entries {
+		accept, n := e.prog.exec(pkt)
+		steps += n
+		if accept {
+			t.StepsExecuted += uint64(steps)
+			return e.ep, true, steps
+		}
+	}
+	t.StepsExecuted += uint64(steps)
+	return ep, false, steps
+}

@@ -1,0 +1,110 @@
+// Package exp contains one driver per table/figure of the paper's
+// evaluation (Section 4). Each driver builds a fresh simulated network,
+// runs the paper's workload, and returns the same rows or series the
+// paper reports. Absolute numbers depend on the calibrated cost model
+// (see internal/core and EXPERIMENTS.md); the drivers exist to reproduce
+// the paper's shapes: who wins, by what factor, and where systems
+// collapse.
+package exp
+
+import (
+	"lrp/internal/core"
+	"lrp/internal/netsim"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// Standard experiment addresses: machine A (client), B (server), C
+// (background traffic source), as in the paper's three-machine setups.
+var (
+	AddrA = pkt.IP(10, 0, 0, 1)
+	AddrB = pkt.IP(10, 0, 0, 2)
+	AddrC = pkt.IP(10, 0, 0, 3)
+)
+
+// Options tunes experiment durations.
+type Options struct {
+	// Quick shrinks durations/iterations for tests and smoke benchmarks.
+	Quick bool
+	// Seed perturbs traffic generators.
+	Seed uint64
+	// Verbose callbacks (optional): called with progress lines.
+	Progress func(string)
+}
+
+func (o Options) progress(s string) {
+	if o.Progress != nil {
+		o.Progress(s)
+	}
+}
+
+// System identifies a benchmarked kernel configuration: an architecture
+// plus a cost model (Table 1 additionally measures the vendor SunOS/Fore
+// baseline, which is the BSD architecture with a slower driver).
+type System struct {
+	Name  string
+	Arch  core.Arch
+	Costs func() *core.CostModel
+}
+
+// Table1Systems are the four kernels of Table 1.
+func Table1Systems() []System {
+	return []System{
+		{Name: "SunOS, Fore driver", Arch: core.ArchBSD, Costs: core.SunOSForeCosts},
+		{Name: "4.4 BSD", Arch: core.ArchBSD, Costs: core.DefaultCosts},
+		{Name: "LRP (NI Demux)", Arch: core.ArchNILRP, Costs: core.DefaultCosts},
+		{Name: "LRP (Soft Demux)", Arch: core.ArchSoftLRP, Costs: core.DefaultCosts},
+	}
+}
+
+// OverloadSystems are the kernels compared in Figure 3, plus the Mogul &
+// Ramakrishnan polling mitigation the paper's related work discusses.
+func OverloadSystems() []System {
+	return []System{
+		{Name: "4.4 BSD", Arch: core.ArchBSD, Costs: core.DefaultCosts},
+		{Name: "NI-LRP", Arch: core.ArchNILRP, Costs: core.DefaultCosts},
+		{Name: "SOFT-LRP", Arch: core.ArchSoftLRP, Costs: core.DefaultCosts},
+		{Name: "Early-Demux", Arch: core.ArchEarlyDemux, Costs: core.DefaultCosts},
+		{Name: "Polling (M&R)", Arch: core.ArchPolling, Costs: core.DefaultCosts},
+	}
+}
+
+// LatencySystems are the kernels compared in Figure 4.
+func LatencySystems() []System {
+	return []System{
+		{Name: "4.4 BSD", Arch: core.ArchBSD, Costs: core.DefaultCosts},
+		{Name: "NI-LRP", Arch: core.ArchNILRP, Costs: core.DefaultCosts},
+		{Name: "SOFT-LRP", Arch: core.ArchSoftLRP, Costs: core.DefaultCosts},
+	}
+}
+
+// rig is a reusable N-host experiment network.
+type rig struct {
+	eng   *sim.Engine
+	nw    *netsim.Network
+	hosts []*core.Host
+}
+
+// newRig builds count hosts of the given system at AddrA, AddrB, AddrC…
+func newRig(sys System, count int) *rig {
+	eng := sim.NewEngine()
+	nw := netsim.New(eng)
+	addrs := []pkt.Addr{AddrA, AddrB, AddrC, pkt.IP(10, 0, 0, 4)}
+	names := []string{"A", "B", "C", "D"}
+	r := &rig{eng: eng, nw: nw}
+	for i := 0; i < count; i++ {
+		r.hosts = append(r.hosts, core.NewHost(eng, nw, core.Config{
+			Name:  names[i],
+			Addr:  addrs[i],
+			Arch:  sys.Arch,
+			Costs: sys.Costs(),
+		}))
+	}
+	return r
+}
+
+func (r *rig) shutdown() {
+	for _, h := range r.hosts {
+		h.Shutdown()
+	}
+}

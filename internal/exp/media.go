@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+
+	"lrp/internal/app"
+	"lrp/internal/sim"
+)
+
+// MediaRow reports delivery jitter for a 30 fps media stream competing
+// with bursty background traffic — the paper's §2.2 multimedia
+// motivation ("the delivery of an incoming message to the receiving
+// application can be delayed by a burst of subsequently arriving
+// packets"), turned into a measurement.
+type MediaRow struct {
+	System       string
+	BgRate       int64
+	MeanJitterUs float64
+	P99JitterUs  int64
+	FramesLost   int64
+}
+
+// MediaJitter measures frame-delivery jitter with and without a 6k pkts/s
+// background blast at another socket on the same host.
+func MediaJitter(opt Options) []MediaRow {
+	var rows []MediaRow
+	for _, sys := range LatencySystems() {
+		for _, bg := range []int64{0, 6000} {
+			rows = append(rows, mediaRun(sys, bg, opt))
+			r := rows[len(rows)-1]
+			opt.progress(fmt.Sprintf("media: %s bg=%d mean=%.0fµs p99=%dµs",
+				r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs))
+		}
+	}
+	return rows
+}
+
+func mediaRun(sys System, bgRate int64, opt Options) MediaRow {
+	r := newRig(sys, 3)
+	defer r.shutdown()
+	server := r.hosts[1]
+
+	// Spinners keep the CPU busy, per the Fig. 4 methodology.
+	app.Spinner(server, "spin")
+
+	player := &app.MediaPlayer{Host: server, Port: 5004, PerFrameCompute: 500}
+	player.Start()
+	src := &app.MediaSource{
+		Net: r.nw, Src: AddrA, Dst: AddrB, SPort: 5004, DPort: 5004,
+	}
+	src.Start()
+
+	// Background blast at a different socket.
+	if bgRate > 0 {
+		sink := &app.BlastSink{Host: server, Port: 9, PerPktCompute: 10}
+		sink.Start()
+		blast := &app.BlastSource{
+			Net: r.nw, Src: AddrC, Dst: AddrB, SPort: 9000, DPort: 9,
+			Size: 14, Rate: bgRate, Poisson: true,
+			Rng: sim.NewRand(opt.Seed + uint64(bgRate)),
+		}
+		blast.Start()
+	}
+
+	dur := 10 * sim.Second
+	if opt.Quick {
+		dur = 3 * sim.Second
+	}
+	r.eng.RunFor(dur)
+	lost := int64(src.Sent.Total()) - int64(player.Frames.Total())
+	return MediaRow{
+		System:       sys.Name,
+		BgRate:       bgRate,
+		MeanJitterUs: player.Jitter.Mean(),
+		P99JitterUs:  player.Jitter.Percentile(99),
+		FramesLost:   lost,
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"lrp/internal/app"
+	"lrp/internal/sim"
+)
+
+// Table1Row reproduces one row of Table 1: "Throughput and Latency".
+type Table1Row struct {
+	System    string
+	RTTMicros float64 // 1-byte UDP ping-pong round trip
+	UDPMbps   float64 // sliding-window UDP throughput, 8 KB datagrams
+	TCPMbps   float64 // 24 MB transfer, 32 KB socket buffers
+}
+
+// Table1 measures round-trip latency, UDP throughput and TCP throughput
+// for each system. "Its purpose is to demonstrate that the LRP
+// architecture is competitive with traditional network subsystem
+// implementations in terms of these basic performance criteria."
+func Table1(opt Options) []Table1Row {
+	var rows []Table1Row
+	for _, sys := range Table1Systems() {
+		opt.progress("table1: " + sys.Name)
+		rows = append(rows, Table1Row{
+			System:    sys.Name,
+			RTTMicros: table1Latency(sys, opt),
+			UDPMbps:   table1UDP(sys, opt),
+			TCPMbps:   table1TCP(sys, opt),
+		})
+	}
+	return rows
+}
+
+// table1Latency ping-pongs a 1-byte message (paper: 10,000 iterations).
+func table1Latency(sys System, opt Options) float64 {
+	r := newRig(sys, 2)
+	defer r.shutdown()
+	iters := 2000
+	if opt.Quick {
+		iters = 200
+	}
+	srv := &app.PingPongServer{Host: r.hosts[1], Port: 7}
+	srv.Start()
+	cli := &app.PingPongClient{
+		Host:       r.hosts[0],
+		ServerAddr: AddrB,
+		ServerPort: 7,
+		MsgSize:    1,
+		Iterations: iters,
+	}
+	cli.Start()
+	r.eng.RunFor(sim.Time(iters+10) * 10 * sim.Millisecond)
+	if !cli.Done {
+		panic(fmt.Sprintf("table1 latency: client incomplete (%d/%d)", cli.RTT.Count(), iters))
+	}
+	return cli.RTT.Mean()
+}
+
+// table1UDP runs the sliding-window UDP throughput test.
+func table1UDP(sys System, opt Options) float64 {
+	r := newRig(sys, 2)
+	defer r.shutdown()
+	measure := 4 * sim.Second
+	warm := sim.Second
+	if opt.Quick {
+		measure, warm = sim.Second, 200*sim.Millisecond
+	}
+	rx := &app.UDPWindowReceiver{Host: r.hosts[1], Port: 9000}
+	rx.Start()
+	tx := &app.UDPWindowSender{
+		Host:     r.hosts[0],
+		PeerAddr: AddrB,
+		PeerPort: 9000,
+		Size:     8192,
+		Window:   8,
+	}
+	tx.Start()
+	r.eng.RunFor(warm)
+	rx.Bytes.Reset(r.eng.Now())
+	r.eng.RunFor(measure)
+	return rx.Bytes.Rate(r.eng.Now()) * 8 / 1e6
+}
+
+// table1TCP transfers 24 MB with 32 KB buffers.
+func table1TCP(sys System, opt Options) float64 {
+	r := newRig(sys, 2)
+	defer r.shutdown()
+	total := 24 << 20
+	if opt.Quick {
+		total = 4 << 20
+	}
+	x := &app.TCPTransfer{
+		Server:     r.hosts[1],
+		Client:     r.hosts[0],
+		ServerAddr: AddrB,
+		Port:       5001,
+		TotalBytes: total,
+	}
+	x.Start()
+	r.eng.RunFor(120 * sim.Second)
+	if !x.Done {
+		panic(fmt.Sprintf("table1 tcp: transfer incomplete (%d/%d bytes)", x.Received, total))
+	}
+	return x.ThroughputMbps()
+}

@@ -1,0 +1,190 @@
+// Package ipv4 implements IP-layer processing for the simulated stack:
+// outbound fragmentation and inbound reassembly. Header construction and
+// validation live in package pkt; routing is the network simulator's job.
+//
+// The reassembler supports the LRP fragment-channel protocol: when it is
+// missing fragments, the caller can feed it packets from the special NI
+// fragment channel ("The IP reassembly function checks this channel queue
+// when it misses fragments during reassembly").
+package ipv4
+
+import (
+	"sort"
+
+	"lrp/internal/pkt"
+)
+
+// DefaultMTU is the link MTU: classical IP over ATM (RFC 1577) uses 9180.
+const DefaultMTU = 9180
+
+// ReassemblyTTL is how long a partial datagram is kept, in µs.
+const ReassemblyTTL = 30 * 1000 * 1000
+
+// Fragment splits an encoded IPv4 packet into fragments that fit mtu.
+// If the packet already fits, it is returned unchanged as the only
+// element. The DF bit is honoured: a too-big DF packet returns nil.
+func Fragment(b []byte, mtu int) [][]byte {
+	if len(b) <= mtu {
+		return [][]byte{b}
+	}
+	ih, hlen, err := pkt.DecodeIPv4(b)
+	if err != nil {
+		return nil
+	}
+	if ih.Flags&pkt.FlagDontFragment != 0 {
+		return nil
+	}
+	payload := b[hlen:int(ih.TotalLen)]
+	// Payload bytes per fragment: multiple of 8.
+	per := (mtu - hlen) &^ 7
+	if per <= 0 {
+		return nil
+	}
+	var out [][]byte
+	for off := 0; off < len(payload); off += per {
+		end := off + per
+		more := true
+		if end >= len(payload) {
+			end = len(payload)
+			more = false
+		}
+		fb := make([]byte, hlen+end-off)
+		fh := ih
+		fh.TotalLen = uint16(len(fb))
+		fh.FragOff = ih.FragOff + uint16(off/8)
+		if more || ih.MoreFragments() {
+			fh.Flags |= pkt.FlagMoreFrags
+		} else {
+			fh.Flags &^= pkt.FlagMoreFrags
+		}
+		copy(fb[hlen:], payload[off:end])
+		pkt.EncodeIPv4(fb, &fh)
+		out = append(out, fb)
+	}
+	return out
+}
+
+// fragPiece is one received fragment's payload.
+type fragPiece struct {
+	off  int // byte offset within the datagram payload
+	data []byte
+	more bool
+}
+
+type reasmKey struct {
+	src, dst pkt.Addr
+	id       uint16
+	proto    byte
+}
+
+type partial struct {
+	pieces  []fragPiece
+	expires int64
+}
+
+// Reassembler reconstructs fragmented datagrams.
+type Reassembler struct {
+	parts map[reasmKey]*partial
+
+	// Completed counts datagrams fully reassembled; Expired counts
+	// partials dropped on timeout.
+	Completed uint64
+	Expired   uint64
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{parts: make(map[reasmKey]*partial)}
+}
+
+// Pending returns the number of incomplete datagrams held.
+func (r *Reassembler) Pending() int { return len(r.parts) }
+
+// Input accepts one fragment (the full encoded IP packet). If the datagram
+// is now complete it returns the reassembled packet (a fresh buffer with a
+// rebuilt header) and true. Non-fragmented packets pass through untouched.
+func (r *Reassembler) Input(b []byte, now int64) ([]byte, bool) {
+	ih, hlen, err := pkt.DecodeIPv4(b)
+	if err != nil {
+		return nil, false
+	}
+	if !ih.IsFragment() {
+		return b, true
+	}
+	r.expire(now)
+	key := reasmKey{ih.Src, ih.Dst, ih.ID, ih.Proto}
+	p := r.parts[key]
+	if p == nil {
+		p = &partial{expires: now + ReassemblyTTL}
+		r.parts[key] = p
+	}
+	p.pieces = append(p.pieces, fragPiece{
+		off:  int(ih.FragOff) * 8,
+		data: append([]byte(nil), b[hlen:int(ih.TotalLen)]...),
+		more: ih.MoreFragments(),
+	})
+	whole, ok := assemble(p.pieces)
+	if !ok {
+		return nil, false
+	}
+	delete(r.parts, key)
+	r.Completed++
+	// Rebuild a single packet with the original header, offset 0, MF clear.
+	out := make([]byte, pkt.IPv4HeaderLen+len(whole))
+	oh := ih
+	oh.TotalLen = uint16(len(out))
+	oh.Flags &^= pkt.FlagMoreFrags
+	oh.FragOff = 0
+	copy(out[pkt.IPv4HeaderLen:], whole)
+	pkt.EncodeIPv4(out, &oh)
+	return out, true
+}
+
+// assemble tries to stitch pieces into a contiguous payload ending at a
+// piece with MF clear.
+func assemble(pieces []fragPiece) ([]byte, bool) {
+	sorted := append([]fragPiece(nil), pieces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
+	var out []byte
+	next := 0
+	sawLast := false
+	for _, fp := range sorted {
+		if fp.off > next {
+			return nil, false // hole
+		}
+		if fp.off+len(fp.data) <= next {
+			continue // full overlap / duplicate
+		}
+		out = append(out, fp.data[next-fp.off:]...)
+		next = fp.off + len(fp.data)
+		if !fp.more {
+			sawLast = true
+			break
+		}
+	}
+	if !sawLast {
+		return nil, false
+	}
+	return out, true
+}
+
+// MissingFor reports whether the reassembler holds an incomplete datagram
+// matching the key — i.e. whether checking the LRP fragment channel could
+// help.
+func (r *Reassembler) MissingFor(src, dst pkt.Addr, id uint16, proto byte) bool {
+	_, ok := r.parts[reasmKey{src, dst, id, proto}]
+	return ok
+}
+
+// expire drops partial datagrams past their deadline.
+func (r *Reassembler) expire(now int64) {
+	if len(r.parts) == 0 {
+		return
+	}
+	for k, p := range r.parts {
+		if p.expires <= now {
+			delete(r.parts, k)
+			r.Expired++
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lrp/internal/pkt"
+)
+
+var (
+	src = pkt.IP(10, 0, 0, 1)
+	dst = pkt.IP(10, 0, 0, 2)
+)
+
+func udpPacket(n int) []byte {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return pkt.UDPPacket(src, dst, 1000, 2000, 42, 64, payload, false)
+}
+
+func TestFragmentSmallPassThrough(t *testing.T) {
+	p := udpPacket(100)
+	frags := Fragment(p, DefaultMTU)
+	if len(frags) != 1 || &frags[0][0] != &p[0] {
+		t.Fatal("small packet should pass through unchanged")
+	}
+}
+
+func TestFragmentAndReassemble(t *testing.T) {
+	p := udpPacket(25000)
+	frags := Fragment(p, DefaultMTU)
+	if len(frags) < 3 {
+		t.Fatalf("got %d fragments", len(frags))
+	}
+	for _, f := range frags {
+		if len(f) > DefaultMTU {
+			t.Fatalf("fragment size %d exceeds MTU", len(f))
+		}
+		if _, _, err := pkt.DecodeIPv4(f); err != nil {
+			t.Fatalf("fragment header invalid: %v", err)
+		}
+	}
+	r := NewReassembler()
+	var out []byte
+	done := false
+	for _, f := range frags {
+		if o, ok := r.Input(f, 0); ok {
+			out, done = o, true
+		}
+	}
+	if !done {
+		t.Fatal("reassembly incomplete")
+	}
+	if !bytes.Equal(out[pkt.IPv4HeaderLen:], p[pkt.IPv4HeaderLen:]) {
+		t.Fatal("reassembled payload differs")
+	}
+	ih, _, err := pkt.DecodeIPv4(out)
+	if err != nil || ih.IsFragment() {
+		t.Fatalf("rebuilt header invalid: %+v %v", ih, err)
+	}
+	if r.Completed != 1 || r.Pending() != 0 {
+		t.Fatalf("completed=%d pending=%d", r.Completed, r.Pending())
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	p := udpPacket(25000)
+	frags := Fragment(p, DefaultMTU)
+	r := NewReassembler()
+	// Deliver in reverse.
+	var out []byte
+	done := false
+	for i := len(frags) - 1; i >= 0; i-- {
+		if o, ok := r.Input(frags[i], 0); ok {
+			out, done = o, true
+		}
+	}
+	if !done {
+		t.Fatal("reverse-order reassembly failed")
+	}
+	if !bytes.Equal(out[pkt.IPv4HeaderLen:], p[pkt.IPv4HeaderLen:]) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestReassembleDuplicates(t *testing.T) {
+	p := udpPacket(20000)
+	frags := Fragment(p, DefaultMTU)
+	r := NewReassembler()
+	// Duplicate the first fragment.
+	if _, ok := r.Input(frags[0], 0); ok {
+		t.Fatal("incomplete datagram reported complete")
+	}
+	if _, ok := r.Input(frags[0], 0); ok {
+		t.Fatal("duplicate should not complete")
+	}
+	var done bool
+	for _, f := range frags[1:] {
+		if _, ok := r.Input(f, 0); ok {
+			done = true
+		}
+	}
+	if !done {
+		t.Fatal("reassembly with duplicates failed")
+	}
+}
+
+func TestReassemblyHole(t *testing.T) {
+	p := udpPacket(25000)
+	frags := Fragment(p, DefaultMTU)
+	r := NewReassembler()
+	r.Input(frags[0], 0)
+	// Skip the middle fragment.
+	if _, ok := r.Input(frags[2], 0); ok {
+		t.Fatal("hole not detected")
+	}
+	if !r.MissingFor(src, dst, 42, pkt.ProtoUDP) {
+		t.Fatal("MissingFor should report the partial datagram")
+	}
+}
+
+func TestReassemblyExpiry(t *testing.T) {
+	p := udpPacket(25000)
+	frags := Fragment(p, DefaultMTU)
+	r := NewReassembler()
+	r.Input(frags[0], 0)
+	// A later packet (different IP ID) past the TTL triggers expiry of the
+	// stale partial.
+	other := pkt.UDPPacket(src, dst, 1000, 2000, 43, 64, make([]byte, 20000), false)
+	of := Fragment(other, DefaultMTU)
+	r.Input(of[0], ReassemblyTTL+1)
+	if r.Expired != 1 {
+		t.Fatalf("expired = %d", r.Expired)
+	}
+	if r.MissingFor(src, dst, 42, pkt.ProtoUDP) {
+		t.Fatal("expired partial still present")
+	}
+}
+
+func TestFragmentHonoursDF(t *testing.T) {
+	payload := make([]byte, 20000)
+	b := pkt.UDPPacket(src, dst, 1, 2, 7, 64, payload, false)
+	// Set DF by re-encoding the header.
+	ih, _, _ := pkt.DecodeIPv4(b)
+	ih.Flags |= pkt.FlagDontFragment
+	pkt.EncodeIPv4(b, &ih)
+	if Fragment(b, DefaultMTU) != nil {
+		t.Fatal("DF packet was fragmented")
+	}
+}
+
+// Property: fragmentation and reassembly is the identity for any payload
+// size, in any delivery order (forward/reverse).
+func TestFragmentReassembleProperty(t *testing.T) {
+	f := func(sz uint16, reverse bool) bool {
+		n := int(sz)
+		p := udpPacket(n)
+		frags := Fragment(p, DefaultMTU)
+		if frags == nil {
+			return false
+		}
+		r := NewReassembler()
+		order := frags
+		if reverse {
+			order = make([][]byte, len(frags))
+			for i, f := range frags {
+				order[len(frags)-1-i] = f
+			}
+		}
+		for i, f := range order {
+			out, ok := r.Input(f, 0)
+			if ok {
+				return i == len(order)-1 && bytes.Equal(out[pkt.IPv4HeaderLen:], p[pkt.IPv4HeaderLen:])
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,574 @@
+// Package kernel simulates a small uniprocessor UNIX kernel: processes,
+// a 4.3BSD-style decay-usage scheduler, and the three-level CPU priority
+// structure (hardware interrupts > software interrupts > user processes)
+// whose consequences the LRP paper analyses.
+//
+// The kernel is a pure discrete-event model driven by a sim.Engine. CPU
+// time is consumed in preemptible "bursts"; hardware- and software-
+// interrupt work always preempts process execution, software-interrupt
+// work is preempted by hardware interrupts, and processes preempt each
+// other according to scheduler priority. CPU time spent in interrupt
+// context is charged to a configurable target — by default the current
+// process, reproducing BSD's mis-accounting ("CPU time spent in interrupt
+// context during the reception of packets is charged to the application
+// that happens to execute when a packet arrives").
+//
+// Application code runs on per-process goroutines that are strictly
+// interlocked with the engine goroutine, so the whole simulation executes
+// one goroutine at a time and is fully deterministic.
+package kernel
+
+import (
+	"fmt"
+
+	"lrp/internal/sim"
+	"lrp/internal/trace"
+)
+
+// Scheduler constants, following 4.3BSD conventions: numerically lower
+// priority values run first.
+const (
+	// PUser is the base user-mode priority.
+	PUser = 50
+	// PrioMax is the worst (weakest) priority.
+	PrioMax = 127
+
+	// TickInterval is the statclock period: priority of the running process
+	// is recomputed this often.
+	TickInterval = 10 * sim.Millisecond
+	// RoundRobinInterval is the quantum for round-robin rotation among
+	// equal-priority processes.
+	RoundRobinInterval = 100 * sim.Millisecond
+	// DecayInterval is the schedcpu period: accumulated CPU usage of every
+	// process decays this often.
+	DecayInterval = 1 * sim.Second
+
+	// estcpuPerPrioPoint converts accumulated CPU microseconds into
+	// priority points: one point per 4 ticks of usage, as in BSD's
+	// p_usrpri = PUSER + p_cpu/4.
+	estcpuPerPrioPoint = 4 * TickInterval
+	// estcpuMax caps accumulated usage so priorities stay in range.
+	estcpuMax = int64(PrioMax-PUser) * estcpuPerPrioPoint
+)
+
+// band identifies which CPU level owns the current burst.
+type band int
+
+const (
+	bandIdle band = iota
+	bandHW
+	bandSW
+	bandProc
+)
+
+func (b band) String() string {
+	switch b {
+	case bandIdle:
+		return "idle"
+	case bandHW:
+		return "hwintr"
+	case bandSW:
+		return "swintr"
+	case bandProc:
+		return "proc"
+	}
+	return "?"
+}
+
+// WorkItem is a unit of interrupt-level work: Cost microseconds of CPU
+// followed by Fn (which runs in engine context at completion). ChargeTo
+// names the process whose scheduler usage absorbs the cost; nil applies
+// the kernel's default policy (charge the current process, as BSD does).
+type WorkItem struct {
+	Cost     int64
+	ChargeTo *Proc
+	Fn       func()
+}
+
+// Stats aggregates kernel-wide CPU accounting.
+type Stats struct {
+	HWTime   int64 // µs spent at hardware interrupt level
+	SWTime   int64 // µs spent at software interrupt level
+	ProcTime int64 // µs spent running processes
+	IdleTime int64 // µs idle
+	// IntrUnattributed counts interrupt µs that had no process to charge
+	// (the machine was idle when the interrupt arrived).
+	IntrUnattributed int64
+	CtxSwitches      uint64
+}
+
+// Busy returns total non-idle CPU microseconds.
+func (s Stats) Busy() int64 { return s.HWTime + s.SWTime + s.ProcTime }
+
+// Kernel is one simulated host CPU plus its scheduler state. Create with
+// New. All methods must be called from the engine goroutine or from the
+// currently running process goroutine (the simulation guarantees only one
+// of those is active at a time).
+type Kernel struct {
+	Eng  *sim.Engine
+	Name string
+
+	// CtxSwitchCost is charged (as system time) to a process when it takes
+	// the CPU from a different process.
+	CtxSwitchCost int64
+
+	// Trace, when non-nil, records scheduler and interrupt events.
+	Trace *trace.Log
+
+	hwQ []*WorkItem
+	swQ []*WorkItem
+
+	procs []*Proc
+	runq  []*Proc
+	seq   uint64
+
+	cur        band
+	curItem    *WorkItem // head item when cur is bandHW/bandSW
+	curRunProc *Proc     // process owning the burst when cur is bandProc
+	burstEv    *sim.Event
+	burstStart sim.Time
+	idleStart  sim.Time
+
+	// curProc is the BSD "curproc": the process most recently dispatched.
+	// Interrupt time with no explicit charge target is charged here.
+	curProc *Proc
+	// lastOnCPU tracks the last process to own a CPU burst, for context
+	// switch cost and cache-penalty modelling.
+	lastOnCPU *Proc
+
+	inSched     bool
+	needResched bool
+	rrBypass    bool
+
+	// bandEpoch increments whenever interrupt-band work consumes CPU; used
+	// to detect that a process is resuming after interrupt activity.
+	bandEpoch uint64
+
+	stats    Stats
+	shutdown bool
+}
+
+// New creates a kernel on eng and starts its periodic scheduler machinery.
+func New(eng *sim.Engine, name string) *Kernel {
+	k := &Kernel{Eng: eng, Name: name, idleStart: eng.Now()}
+	k.startClocks()
+	return k
+}
+
+func (k *Kernel) startClocks() {
+	var tick, rr, decay func()
+	tick = func() {
+		if k.shutdown {
+			return
+		}
+		k.closeBurst()
+		k.recomputePriorities()
+		k.reschedule()
+		k.Eng.After(TickInterval, tick)
+	}
+	rr = func() {
+		if k.shutdown {
+			return
+		}
+		k.roundRobin()
+		k.Eng.After(RoundRobinInterval, rr)
+	}
+	decay = func() {
+		if k.shutdown {
+			return
+		}
+		k.decayUsage()
+		k.Eng.After(DecayInterval, decay)
+	}
+	k.Eng.After(TickInterval, tick)
+	k.Eng.After(RoundRobinInterval, rr)
+	k.Eng.After(DecayInterval, decay)
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
+
+// Stats returns a copy of the kernel-wide accounting counters, with any
+// in-progress burst or idle period folded in up to the current instant.
+func (k *Kernel) Stats() Stats {
+	k.closeBurst()
+	k.reschedule()
+	return k.stats
+}
+
+// Procs returns all processes ever created on this kernel (including dead
+// ones), in creation order.
+func (k *Kernel) Procs() []*Proc { return append([]*Proc(nil), k.procs...) }
+
+// CurProc returns the most recently dispatched process (BSD curproc); nil
+// before any process has run.
+func (k *Kernel) CurProc() *Proc { return k.curProc }
+
+// PostHW queues hardware-interrupt work. It preempts everything else on
+// this CPU and runs FIFO with other hardware work.
+func (k *Kernel) PostHW(item WorkItem) {
+	it := item
+	k.hwQ = append(k.hwQ, &it)
+	k.reschedule()
+}
+
+// PostSW queues software-interrupt work. It preempts process execution
+// but not hardware interrupts.
+func (k *Kernel) PostSW(item WorkItem) {
+	it := item
+	k.swQ = append(k.swQ, &it)
+	k.reschedule()
+}
+
+// SWPending returns the number of queued software-interrupt work items.
+func (k *Kernel) SWPending() int { return len(k.swQ) }
+
+// Spawn creates a process running fn and makes it runnable. fn executes on
+// its own goroutine, interlocked with the engine; it must interact with
+// simulated time only through Proc methods.
+func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
+	p := &Proc{
+		K:      k,
+		Name:   name,
+		Nice:   nice,
+		state:  stateRunnable,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	p.recomputePrio()
+	k.procs = append(k.procs, p)
+	k.addRunnable(p)
+	go procMain(p, fn)
+	k.reschedule()
+	return p
+}
+
+// Shutdown terminates all live process goroutines so a finished simulation
+// does not leak them. The kernel is unusable afterwards.
+func (k *Kernel) Shutdown() {
+	k.shutdown = true
+	if k.burstEv != nil {
+		k.Eng.Cancel(k.burstEv)
+		k.burstEv = nil
+	}
+	for _, p := range k.procs {
+		if p.state == stateDead {
+			continue
+		}
+		p.killed = true
+		if p.timeoutEv != nil {
+			k.Eng.Cancel(p.timeoutEv)
+			p.timeoutEv = nil
+		}
+		p.state = stateDead
+		p.resume <- struct{}{}
+		<-p.done
+	}
+	k.runq = nil
+}
+
+// addRunnable appends p to the run queue with a fresh FIFO sequence.
+func (k *Kernel) addRunnable(p *Proc) {
+	p.seq = k.seq
+	k.seq++
+	k.runq = append(k.runq, p)
+}
+
+// removeRunnable deletes p from the run queue if present.
+func (k *Kernel) removeRunnable(p *Proc) {
+	for i, q := range k.runq {
+		if q == p {
+			k.runq = append(k.runq[:i], k.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// pickProc selects the runnable process with the best (lowest) priority,
+// breaking ties in favour of the last process on CPU (to avoid gratuitous
+// switches) and then FIFO order.
+func (k *Kernel) pickProc() *Proc {
+	var best *Proc
+	for _, p := range k.runq {
+		if best == nil {
+			best = p
+			continue
+		}
+		if p.Prio() < best.Prio() {
+			best = p
+			continue
+		}
+		if p.Prio() == best.Prio() {
+			switch {
+			case k.rrBypass:
+				if p.seq < best.seq {
+					best = p
+				}
+			case p == k.lastOnCPU && best != k.lastOnCPU:
+				best = p
+			case best != k.lastOnCPU && p.seq < best.seq:
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// charge records d microseconds of CPU consumed at level b on behalf of
+// target (nil means the current process, BSD-style).
+func (k *Kernel) charge(b band, target *Proc, sys bool, d int64) {
+	if d <= 0 {
+		return
+	}
+	switch b {
+	case bandHW:
+		k.stats.HWTime += d
+	case bandSW:
+		k.stats.SWTime += d
+	case bandProc:
+		k.stats.ProcTime += d
+	case bandIdle:
+		k.stats.IdleTime += d
+		return
+	}
+	if b == bandProc {
+		target.addUsage(d)
+		if sys {
+			target.STime += d
+		} else {
+			target.UTime += d
+		}
+		return
+	}
+	// Interrupt-level time.
+	if target == nil {
+		target = k.curProc
+	}
+	if target == nil || target.state == stateDead {
+		k.stats.IntrUnattributed += d
+		return
+	}
+	target.addUsage(d)
+	target.IntrCharged += d
+}
+
+// closeBurst accounts the elapsed portion of the current burst (or idle
+// period) and cancels its completion event. After closeBurst the CPU is in
+// a "nothing dispatched" state; reschedule must follow.
+func (k *Kernel) closeBurst() {
+	now := k.Eng.Now()
+	if k.cur == bandIdle {
+		if now > k.idleStart {
+			k.stats.IdleTime += now - k.idleStart
+			k.idleStart = now
+		}
+		return
+	}
+	if k.burstEv == nil {
+		return
+	}
+	elapsed := now - k.burstStart
+	k.Eng.Cancel(k.burstEv)
+	k.burstEv = nil
+	switch k.cur {
+	case bandHW, bandSW:
+		it := k.curItem
+		it.Cost -= elapsed
+		if elapsed > 0 {
+			k.bandEpoch++
+		}
+		k.charge(k.cur, it.ChargeTo, false, elapsed)
+	case bandProc:
+		p := k.curRunProc
+		p.pendingWork -= elapsed
+		k.charge(bandProc, p.pendingTarget(), p.pendingSys, elapsed)
+	}
+	k.cur = bandIdle
+	k.curItem = nil
+	k.curRunProc = nil
+	k.idleStart = now
+}
+
+// reschedule is the dispatcher: it decides which band/process should own
+// the CPU and opens a burst for it. Re-entrant calls (from code running
+// inside a dispatched process step) are deferred to the outer loop.
+func (k *Kernel) reschedule() {
+	if k.inSched {
+		k.needResched = true
+		return
+	}
+	if k.shutdown {
+		return
+	}
+	k.inSched = true
+	defer func() { k.inSched = false }()
+
+	for {
+		k.needResched = false
+		k.closeBurst()
+		switch {
+		case len(k.hwQ) > 0:
+			k.openItemBurst(bandHW, k.hwQ[0])
+		case len(k.swQ) > 0:
+			k.openItemBurst(bandSW, k.swQ[0])
+		default:
+			p := k.pickProc()
+			if p == nil {
+				// Idle: idleStart was set by closeBurst.
+				return
+			}
+			if p.pendingWork <= 0 {
+				k.runProcStep(p)
+				continue // process state changed; re-pick
+			}
+			k.openProcBurst(p)
+		}
+		if !k.needResched {
+			return
+		}
+	}
+}
+
+// openItemBurst starts executing the head interrupt work item.
+func (k *Kernel) openItemBurst(b band, it *WorkItem) {
+	k.cur = b
+	k.curItem = it
+	k.burstStart = k.Eng.Now()
+	cost := it.Cost
+	if cost < 0 {
+		cost = 0
+	}
+	k.burstEv = k.Eng.After(cost, k.onBurstDone)
+}
+
+// openProcBurst starts executing p's pending work, applying context-switch
+// and cache-refill costs when the CPU is changing hands.
+func (k *Kernel) openProcBurst(p *Proc) {
+	if k.lastOnCPU != p {
+		k.Trace.Add(trace.KindDispatch, "%s: %s takes CPU (prio %d)", k.Name, p.Name, p.Prio())
+		if k.lastOnCPU != nil {
+			k.stats.CtxSwitches++
+			p.CtxSwitches++
+			if k.CtxSwitchCost > 0 {
+				p.pendingWork += k.CtxSwitchCost
+			}
+		}
+		if p.CachePenalty > 0 && k.lastOnCPU != nil {
+			p.pendingWork += p.CachePenalty
+			p.CacheRefills++
+		}
+		k.lastOnCPU = p
+	}
+	if p.IntrPenalty > 0 && p.lastBandEpoch != k.bandEpoch {
+		p.pendingWork += p.IntrPenalty
+		p.IntrRefills++
+	}
+	p.lastBandEpoch = k.bandEpoch
+	k.curProc = p
+	k.cur = bandProc
+	k.curRunProc = p
+	k.burstStart = k.Eng.Now()
+	k.burstEv = k.Eng.After(p.pendingWork, k.onBurstDone)
+}
+
+// onBurstDone fires when the current burst's work is exhausted.
+func (k *Kernel) onBurstDone() {
+	was, item, p := k.cur, k.curItem, k.curRunProc
+	k.closeBurst()
+	switch was {
+	case bandHW:
+		k.hwQ = k.hwQ[1:]
+		k.Trace.Add(trace.KindIntr, "%s: hw work done", k.Name)
+		if item.Fn != nil {
+			item.Fn()
+		}
+	case bandSW:
+		k.swQ = k.swQ[1:]
+		k.Trace.Add(trace.KindSoftIntr, "%s: sw work done", k.Name)
+		if item.Fn != nil {
+			item.Fn()
+		}
+	case bandProc:
+		if p.pendingWork <= 0 {
+			k.runProcStepOuter(p)
+		}
+	}
+	k.reschedule()
+}
+
+// runProcStepOuter runs a process step from outside the scheduler loop.
+func (k *Kernel) runProcStepOuter(p *Proc) {
+	if k.inSched {
+		k.runProcStep(p)
+		return
+	}
+	k.inSched = true
+	k.runProcStep(p)
+	k.inSched = false
+}
+
+// runProcStep transfers control to p's goroutine until it issues its next
+// request, then applies that request. Called with inSched held.
+func (k *Kernel) runProcStep(p *Proc) {
+	k.curProc = p
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-p.parked
+	req := p.curReq
+	p.curReq = nil
+	switch r := req.(type) {
+	case reqConsume:
+		p.state = stateRunnable
+		p.pendingWork = r.d
+		p.pendingSys = r.sys
+		p.chargeTo = r.chargeTo
+	case reqSleep:
+		p.state = stateSleeping
+		p.pendingWork = 0
+		k.removeRunnable(p)
+		p.wq = r.wq
+		r.wq.procs = append(r.wq.procs, p)
+		p.timedOut = false
+		if r.timeout > 0 {
+			p.timeoutEv = k.Eng.After(r.timeout, func() {
+				p.timeoutEv = nil
+				if p.state == stateSleeping {
+					p.timedOut = true
+					p.wakeup()
+				}
+			})
+		}
+	case reqExit:
+		p.state = stateDead
+		p.pendingWork = 0
+		k.removeRunnable(p)
+		p.ExitTime = k.Now()
+		if p.crash != nil {
+			panic(fmt.Sprintf("kernel: process %q crashed: %v", p.Name, p.crash))
+		}
+	default:
+		panic(fmt.Sprintf("kernel: process %q issued unknown request %T", p.Name, req))
+	}
+}
+
+// recomputePriorities refreshes priorities of all runnable processes.
+func (k *Kernel) recomputePriorities() {
+	for _, p := range k.runq {
+		p.recomputePrio()
+	}
+}
+
+// roundRobin rotates the current process to the back of its priority class.
+func (k *Kernel) roundRobin() {
+	k.closeBurst()
+	if p := k.lastOnCPU; p != nil && p.state != stateDead && p.state != stateSleeping {
+		// Rotate the incumbent to the back of its priority class and let
+		// the pick ignore the usual keep-running tie preference once.
+		p.seq = k.seq
+		k.seq++
+		k.rrBypass = true
+	}
+	k.reschedule()
+	k.rrBypass = false
+}

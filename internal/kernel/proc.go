@@ -1,0 +1,344 @@
+package kernel
+
+import (
+	"errors"
+
+	"lrp/internal/sim"
+)
+
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateSleeping
+	stateDead
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateDead:
+		return "dead"
+	}
+	return "?"
+}
+
+var (
+	errKilled = errors.New("kernel: process killed at shutdown")
+	errExited = errors.New("kernel: process exited")
+)
+
+// Requests a process goroutine can issue to the dispatcher.
+type reqConsume struct {
+	d        int64
+	sys      bool
+	chargeTo *Proc // nil: charge self
+}
+
+type reqSleep struct {
+	wq      *WaitQ
+	timeout int64 // 0: none
+}
+
+type reqExit struct{}
+
+// Proc is a simulated process (or kernel thread). Application logic runs on
+// the process goroutine and interacts with simulated time only through
+// these methods. Fields are documented as read-only for application code
+// unless stated otherwise.
+type Proc struct {
+	K    *Kernel
+	Name string
+	// Nice biases scheduling priority by 2 points per unit, like BSD's
+	// nice: +20 yields the weakest user priority.
+	Nice int
+	// CachePenalty, when nonzero, models a memory-bound working set: each
+	// time the process retakes the CPU after something else ran, this many
+	// microseconds of cache-refill work are added. Used by the Table 2
+	// worker workload.
+	CachePenalty int64
+	// IntrPenalty, when nonzero, models cache disturbance from interrupt
+	// handling: each time the process resumes after interrupt-level work
+	// ran, this many microseconds of cache-refill work are added. Eager
+	// (interrupt-driven) protocol processing therefore costs a cache-busy
+	// receiver more than lazy processing does — one of the locality
+	// effects the paper credits for LRP's throughput gains.
+	IntrPenalty int64
+	// PrioProxy, when set, makes this process schedule at the proxy's
+	// priority instead of its own. The LRP asynchronous protocol processing
+	// thread uses this to run "at the priority of the application process
+	// that uses the associated socket".
+	PrioProxy *Proc
+	// FixedPrio, when positive, pins the priority (usage and nice are
+	// ignored). The LRP idle-time protocol processing thread runs pinned
+	// at PrioMax so it only consumes otherwise-idle cycles.
+	FixedPrio int
+
+	// Accounting (µs). UTime is application compute, STime is system-call
+	// work performed in this process's context, IntrCharged is interrupt-
+	// level time billed to this process by the accounting policy.
+	UTime        int64
+	STime        int64
+	IntrCharged  int64
+	CtxSwitches  uint64
+	CacheRefills uint64
+	IntrRefills  uint64
+	ExitTime     sim.Time
+
+	state     procState
+	prio      int
+	estcpu    int64 // decaying CPU usage, µs
+	seq       uint64
+	wq        *WaitQ
+	timedOut  bool
+	timeoutEv *sim.Event
+
+	pendingWork   int64
+	pendingSys    bool
+	chargeTo      *Proc
+	lastBandEpoch uint64
+
+	resume chan struct{}
+	parked chan struct{}
+	done   chan struct{}
+	killed bool
+	curReq any
+	crash  any
+}
+
+// procMain is the goroutine body wrapping user code.
+func procMain(p *Proc, fn func(*Proc)) {
+	defer close(p.done)
+	<-p.resume
+	if p.killed {
+		return
+	}
+	res := func() (r any) {
+		defer func() { r = recover() }()
+		fn(p)
+		return nil
+	}()
+	if res == errKilled {
+		return
+	}
+	if res != nil && res != errExited {
+		p.crash = res
+	}
+	p.curReq = reqExit{}
+	p.parked <- struct{}{}
+}
+
+// yield hands control back to the dispatcher with a request and blocks
+// until the process is dispatched again.
+func (p *Proc) yield(r any) {
+	p.curReq = r
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// Compute consumes d microseconds of CPU as user time. The process may be
+// preempted and interrupted while computing; it returns once d microseconds
+// of CPU have actually been granted.
+func (p *Proc) Compute(d int64) {
+	if d <= 0 {
+		return
+	}
+	p.yield(reqConsume{d: d})
+}
+
+// ComputeSys consumes d microseconds of CPU as system time (work done in
+// kernel context on this process's behalf: system calls, lazy protocol
+// processing, data copies).
+func (p *Proc) ComputeSys(d int64) {
+	if d <= 0 {
+		return
+	}
+	p.yield(reqConsume{d: d, sys: true})
+}
+
+// ComputeSysFor consumes d microseconds of CPU as system time but charges
+// the scheduler usage to owner. The LRP asynchronous TCP processing thread
+// uses this so that "CPU usage is charged back to that application".
+func (p *Proc) ComputeSysFor(owner *Proc, d int64) {
+	if d <= 0 {
+		return
+	}
+	p.yield(reqConsume{d: d, sys: true, chargeTo: owner})
+}
+
+// Sleep blocks the process on wq until a wakeup.
+func (p *Proc) Sleep(wq *WaitQ) {
+	p.yield(reqSleep{wq: wq})
+}
+
+// SleepTimeout blocks the process on wq until a wakeup or until timeout
+// microseconds pass; it reports whether it timed out.
+func (p *Proc) SleepTimeout(wq *WaitQ, timeout int64) (timedOut bool) {
+	if timeout <= 0 {
+		p.yield(reqSleep{wq: wq})
+		return false
+	}
+	p.yield(reqSleep{wq: wq, timeout: timeout})
+	return p.timedOut
+}
+
+// Delay blocks the process for d microseconds of simulated time without
+// consuming CPU (like sleeping on a timer).
+func (p *Proc) Delay(d int64) {
+	if d <= 0 {
+		return
+	}
+	var wq WaitQ
+	p.yield(reqSleep{wq: &wq, timeout: d})
+}
+
+// Exit terminates the process immediately, unwinding its goroutine.
+func (p *Proc) Exit() {
+	panic(errExited)
+}
+
+// Now returns the current simulated time (valid while the process runs).
+func (p *Proc) Now() sim.Time { return p.K.Eng.Now() }
+
+// Dead reports whether the process has exited.
+func (p *Proc) Dead() bool { return p.state == stateDead }
+
+// Sleeping reports whether the process is blocked.
+func (p *Proc) Sleeping() bool { return p.state == stateSleeping }
+
+// Prio returns the current scheduler priority (lower runs first).
+func (p *Proc) Prio() int {
+	if p.PrioProxy != nil && p.PrioProxy != p {
+		return p.PrioProxy.prio
+	}
+	return p.prio
+}
+
+// EstCPU returns the decayed CPU usage the scheduler currently sees, in µs.
+func (p *Proc) EstCPU() int64 { return p.estcpu }
+
+// CPUTime returns user+system time consumed by the process, excluding
+// interrupt time merely charged to it.
+func (p *Proc) CPUTime() int64 { return p.UTime + p.STime }
+
+// addUsage accumulates scheduler-visible usage with saturation.
+func (p *Proc) addUsage(d int64) {
+	p.estcpu += d
+	if p.estcpu > estcpuMax {
+		p.estcpu = estcpuMax
+	}
+}
+
+// recomputePrio refreshes the scheduling priority from usage and nice,
+// clamped to [PUser, PrioMax] as in BSD.
+func (p *Proc) recomputePrio() {
+	if p.FixedPrio > 0 {
+		p.prio = p.FixedPrio
+		return
+	}
+	pr := PUser + int(p.estcpu/estcpuPerPrioPoint) + 2*p.Nice
+	if pr < PUser {
+		pr = PUser
+	}
+	if pr > PrioMax {
+		pr = PrioMax
+	}
+	p.prio = pr
+}
+
+// pendingTarget resolves whose account the pending work bills to.
+func (p *Proc) pendingTarget() *Proc {
+	if p.chargeTo != nil {
+		return p.chargeTo
+	}
+	return p
+}
+
+// wakeup moves a sleeping process back to the run queue. Engine context.
+func (p *Proc) wakeup() {
+	if p.state != stateSleeping {
+		return
+	}
+	if p.wq != nil {
+		p.wq.remove(p)
+		p.wq = nil
+	}
+	if p.timeoutEv != nil {
+		p.K.Eng.Cancel(p.timeoutEv)
+		p.timeoutEv = nil
+	}
+	p.state = stateRunnable
+	p.recomputePrio()
+	p.K.addRunnable(p)
+	p.K.reschedule()
+}
+
+// decayUsage applies the per-second schedcpu decay (factor 2/3, the BSD
+// filter with load average ~1) to every process and refreshes priorities.
+func (k *Kernel) decayUsage() {
+	for _, p := range k.procs {
+		if p.state == stateDead {
+			continue
+		}
+		p.estcpu = p.estcpu * 2 / 3
+		p.recomputePrio()
+	}
+	k.closeBurst()
+	k.reschedule()
+}
+
+// WaitQ is a queue of sleeping processes (a BSD sleep channel).
+type WaitQ struct {
+	procs []*Proc
+}
+
+// Len returns the number of sleeping processes.
+func (w *WaitQ) Len() int { return len(w.procs) }
+
+func (w *WaitQ) remove(p *Proc) {
+	for i, q := range w.procs {
+		if q == p {
+			w.procs = append(w.procs[:i], w.procs[i+1:]...)
+			return
+		}
+	}
+}
+
+// WakeupAll wakes every process sleeping on the queue (BSD wakeup()).
+func (w *WaitQ) WakeupAll() {
+	for len(w.procs) > 0 {
+		w.procs[0].wakeup()
+	}
+}
+
+// WakeupOne wakes the process that has slept longest. Among sleepers, the
+// paper notes "the process with the highest priority performs the protocol
+// processing"; WakeupBest implements that variant.
+func (w *WaitQ) WakeupOne() {
+	if len(w.procs) > 0 {
+		w.procs[0].wakeup()
+	}
+}
+
+// WakeupBest wakes the highest-priority sleeper.
+func (w *WaitQ) WakeupBest() {
+	if len(w.procs) == 0 {
+		return
+	}
+	best := w.procs[0]
+	for _, p := range w.procs[1:] {
+		if p.Prio() < best.Prio() {
+			best = p
+		}
+	}
+	best.wakeup()
+}

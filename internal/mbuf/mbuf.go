@@ -1,0 +1,167 @@
+// Package mbuf models the BSD network-buffer abstraction: reference-counted
+// packet buffers drawn from a bounded pool.
+//
+// The pool bound matters to the reproduction: in 4.4BSD, aggregate traffic
+// bursts "can exceed the IP queue limit and/or exhaust the mbuf pool",
+// delaying or losing packets destined for other sockets. The pool keeps
+// exact accounting so experiments can report whether drops happened for
+// lack of mbufs (the paper's instrumentation reported none at their rates;
+// ours can check the same).
+package mbuf
+
+import "fmt"
+
+// Mbuf holds one packet (this simulator does not split packets across
+// chained buffers; a chain field would add fidelity but no behaviour the
+// experiments depend on). Data aliases the packet bytes; Len is the packet
+// length.
+type Mbuf struct {
+	Data []byte
+
+	// Arrival is the simulated time the packet was captured from the wire,
+	// used to measure queueing delay. Zero when not applicable.
+	Arrival int64
+
+	pool *Pool
+}
+
+// Len returns the packet length in bytes.
+func (m *Mbuf) Len() int { return len(m.Data) }
+
+// Free returns the buffer to its pool. Freeing a nil mbuf or one not drawn
+// from a pool is a no-op. Double frees panic: they indicate a logic error
+// in queue handling.
+func (m *Mbuf) Free() {
+	if m == nil || m.pool == nil {
+		return
+	}
+	p := m.pool
+	m.pool = nil
+	m.Data = nil
+	p.inUse--
+	if p.inUse < 0 {
+		panic("mbuf: double free")
+	}
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Allocs    uint64 // successful allocations
+	Failures  uint64 // allocations denied because the pool was exhausted
+	InUse     int    // buffers currently outstanding
+	Limit     int    // pool capacity
+	HighWater int    // maximum simultaneous buffers in use
+}
+
+// Pool is a bounded mbuf allocator. The zero value is unusable; call
+// NewPool. Pools are not safe for concurrent use; the simulation is single
+// threaded by construction.
+type Pool struct {
+	limit     int
+	inUse     int
+	highWater int
+	allocs    uint64
+	failures  uint64
+}
+
+// NewPool returns a pool that allows up to limit buffers outstanding.
+// limit <= 0 means unlimited.
+func NewPool(limit int) *Pool {
+	return &Pool{limit: limit}
+}
+
+// Alloc returns a buffer holding data (which the mbuf aliases; the caller
+// must not reuse it), or nil if the pool is exhausted.
+func (p *Pool) Alloc(data []byte) *Mbuf {
+	if p.limit > 0 && p.inUse >= p.limit {
+		p.failures++
+		return nil
+	}
+	p.inUse++
+	if p.inUse > p.highWater {
+		p.highWater = p.inUse
+	}
+	p.allocs++
+	return &Mbuf{Data: data, pool: p}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Allocs:    p.allocs,
+		Failures:  p.failures,
+		InUse:     p.inUse,
+		Limit:     p.limit,
+		HighWater: p.highWater,
+	}
+}
+
+// String summarizes the pool state for logs.
+func (p *Pool) String() string {
+	return fmt.Sprintf("mbuf pool: %d/%d in use (hw %d, %d allocs, %d failures)",
+		p.inUse, p.limit, p.highWater, p.allocs, p.failures)
+}
+
+// Queue is a bounded FIFO of mbufs — the building block for the shared IP
+// queue, socket queues, interface queues, and NI channel queues. A Limit of
+// 0 means unbounded.
+type Queue struct {
+	Limit int
+	buf   []*Mbuf
+	drops uint64
+}
+
+// NewQueue returns a queue bounded at limit packets (0 = unbounded).
+func NewQueue(limit int) *Queue { return &Queue{Limit: limit} }
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Full reports whether an Enqueue would be refused.
+func (q *Queue) Full() bool { return q.Limit > 0 && len(q.buf) >= q.Limit }
+
+// Drops returns the number of packets refused because the queue was full.
+func (q *Queue) Drops() uint64 { return q.drops }
+
+// Enqueue appends m, or frees it and returns false if the queue is full.
+// (Callers that must not free on failure should test Full first.)
+func (q *Queue) Enqueue(m *Mbuf) bool {
+	if q.Full() {
+		q.drops++
+		m.Free()
+		return false
+	}
+	q.buf = append(q.buf, m)
+	return true
+}
+
+// Dequeue removes and returns the head packet, or nil if empty.
+func (q *Queue) Dequeue() *Mbuf {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	m := q.buf[0]
+	q.buf[0] = nil
+	q.buf = q.buf[1:]
+	// Reset the backing array occasionally so the queue doesn't pin memory.
+	if len(q.buf) == 0 && cap(q.buf) > 1024 {
+		q.buf = nil
+	}
+	return m
+}
+
+// Peek returns the head packet without removing it, or nil if empty.
+func (q *Queue) Peek() *Mbuf {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	return q.buf[0]
+}
+
+// Flush frees all queued packets and empties the queue.
+func (q *Queue) Flush() {
+	for _, m := range q.buf {
+		m.Free()
+	}
+	q.buf = nil
+}

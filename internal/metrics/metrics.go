@@ -1,0 +1,121 @@
+// Package metrics provides the small set of measurement tools the
+// experiments need: latency histograms, rate counters, and time-series
+// helpers. Everything operates on simulated-time microseconds.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram collects latency samples (µs) and reports order statistics.
+type Histogram struct {
+	samples []int64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return float64(sum) / float64(len(h.samples))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0-100), or 0 with no samples.
+func (h *Histogram) Percentile(p float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(p / 100 * float64(len(h.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Median returns the 50th percentile.
+func (h *Histogram) Median() int64 { return h.Percentile(50) }
+
+// Min and Max return the extremes, or 0 with no samples.
+func (h *Histogram) Min() int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		h.Count(), h.Mean(), h.Median(), h.Percentile(99), h.Max())
+}
+
+// Counter counts events over a measurement window so warmup can be
+// excluded: Reset at the window start, Rate at the end.
+type Counter struct {
+	total      uint64
+	windowBase uint64
+	windowT0   int64
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.total++ }
+
+// Addn adds n events.
+func (c *Counter) Addn(n uint64) { c.total += n }
+
+// Total returns the all-time count.
+func (c *Counter) Total() uint64 { return c.total }
+
+// Reset marks the start of a measurement window at time now (µs).
+func (c *Counter) Reset(now int64) {
+	c.windowBase = c.total
+	c.windowT0 = now
+}
+
+// WindowCount returns events since the last Reset.
+func (c *Counter) WindowCount() uint64 { return c.total - c.windowBase }
+
+// Rate returns events per second since the last Reset, evaluated at now.
+func (c *Counter) Rate(now int64) float64 {
+	dt := now - c.windowT0
+	if dt <= 0 {
+		return 0
+	}
+	return float64(c.total-c.windowBase) / (float64(dt) / 1e6)
+}

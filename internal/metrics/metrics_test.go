@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Median() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Median() != 5 {
+		t.Fatalf("median = %d", h.Median())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %d", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := h.Percentile(50); p < 45 || p > 55 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(99); p < 95 {
+		t.Fatalf("p99 = %d", p)
+	}
+}
+
+func TestHistogramInterleavedAddAndQuery(t *testing.T) {
+	// Queries sort lazily; adds after a query must still be seen.
+	var h Histogram
+	h.Add(10)
+	_ = h.Median()
+	h.Add(1)
+	if h.Min() != 1 {
+		t.Fatal("add after query lost")
+	}
+}
+
+// Property: percentiles are monotone and bounded by min/max.
+func TestHistogramMonotoneProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		prev := h.Min()
+		for p := 0.0; p <= 100; p += 7 {
+			v := h.Percentile(p)
+			if v < prev || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median matches a reference computation.
+func TestHistogramMedianReference(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		ref := make([]int64, len(vals))
+		for i, v := range vals {
+			h.Add(int64(v))
+			ref[i] = int64(v)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		return h.Median() == ref[(len(ref)-1)/2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterWindows(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(9)
+	if c.Total() != 10 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	c.Reset(1_000_000)
+	if c.WindowCount() != 0 {
+		t.Fatal("reset did not clear the window")
+	}
+	c.Addn(500)
+	if c.WindowCount() != 500 {
+		t.Fatalf("window = %d", c.WindowCount())
+	}
+	// 500 events over half a second = 1000/s.
+	if r := c.Rate(1_500_000); r != 1000 {
+		t.Fatalf("rate = %v", r)
+	}
+	if r := c.Rate(1_000_000); r != 0 {
+		t.Fatalf("zero-width window rate = %v", r)
+	}
+	if c.Total() != 510 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Add(2)
+	h.Add(4)
+	if s := h.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,190 @@
+// Package netsim models the local-area network connecting simulated hosts:
+// point-to-point attachment of NICs to a non-blocking switch with
+// configurable link bandwidth and propagation delay, plus raw packet
+// injectors for traffic generators (the equivalent of the paper's
+// "in-kernel packet source on the sender").
+package netsim
+
+import (
+	"fmt"
+
+	"lrp/internal/nic"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// DefaultFrameOverhead approximates per-packet link-level overhead in
+// bytes (ATM AAL5 trailer + cell headers, amortized).
+const DefaultFrameOverhead = 24
+
+// Stats counts network-level events.
+type Stats struct {
+	Delivered uint64 // packets handed to a destination NIC
+	NoRoute   uint64 // packets whose destination IP had no attached host
+	Injected  uint64 // packets entered via Inject
+	Lost      uint64 // packets dropped by injected loss
+}
+
+// port is one host attachment.
+type port struct {
+	nic          *nic.NIC
+	addr         pkt.Addr
+	bwBytesPerUs float64 // link bandwidth
+	propDelay    int64
+	// rxFreeAt serializes delivery into the host: a 155 Mbit/s link can
+	// only hand over so many packets per second.
+	rxFreeAt sim.Time
+}
+
+// Network is the simulated LAN.
+type Network struct {
+	Eng *sim.Engine
+	// FrameOverhead is added to every packet's size for serialization
+	// timing.
+	FrameOverhead int
+
+	ports  map[pkt.Addr]*port
+	order  []*port // attachment order, for deterministic multicast fanout
+	routes map[pkt.Addr]pkt.Addr
+	stats  Stats
+
+	lossRate float64
+	lossRng  *sim.Rand
+}
+
+// New creates an empty network.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		Eng:           eng,
+		FrameOverhead: DefaultFrameOverhead,
+		ports:         make(map[pkt.Addr]*port),
+		routes:        make(map[pkt.Addr]pkt.Addr),
+	}
+}
+
+// Attach connects n to the network at addr with the given link bandwidth
+// (bits per second) and one-way propagation delay (µs). It installs the
+// NIC's Transmit hook.
+func (nw *Network) Attach(n *nic.NIC, addr pkt.Addr, bandwidthBps int64, propDelay int64) {
+	if _, dup := nw.ports[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate attachment for %v", addr))
+	}
+	p := &port{
+		nic:          n,
+		addr:         addr,
+		bwBytesPerUs: float64(bandwidthBps) / 8 / 1e6,
+		propDelay:    propDelay,
+	}
+	nw.ports[addr] = p
+	nw.order = append(nw.order, p)
+	n.Transmit = func(b []byte, done func()) {
+		st := nw.serializationTime(p, len(b))
+		nw.Eng.After(st, func() {
+			done()
+			nw.route(b, p.propDelay)
+		})
+	}
+}
+
+// Stats returns a snapshot of network counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// serializationTime returns the wire time for a packet of size bytes on
+// port p (µs, minimum 1).
+func (nw *Network) serializationTime(p *port, size int) int64 {
+	if p.bwBytesPerUs <= 0 {
+		return 1
+	}
+	t := int64(float64(size+nw.FrameOverhead) / p.bwBytesPerUs)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// route looks up the destination IP and schedules delivery.
+func (nw *Network) route(b []byte, propDelay int64) {
+	ih, _, err := pkt.DecodeIPv4(b)
+	if err != nil {
+		nw.stats.NoRoute++
+		return
+	}
+	if ih.Dst.IsMulticast() {
+		// LAN multicast: every attached host except the sender receives a
+		// copy (in deterministic attachment order).
+		for _, p := range nw.order {
+			if p.addr == ih.Src {
+				continue
+			}
+			nw.deliverTo(p, b, propDelay)
+		}
+		return
+	}
+	dst, ok := nw.ports[ih.Dst]
+	if !ok {
+		if via, hasRoute := nw.routes[ih.Dst]; hasRoute {
+			if gw, gok := nw.ports[via]; gok {
+				nw.deliverTo(gw, b, propDelay)
+				return
+			}
+		}
+		nw.stats.NoRoute++
+		return
+	}
+	nw.deliverTo(dst, b, propDelay)
+}
+
+// deliverTo schedules delivery of b into one attached host, serialized at
+// the receiver's link rate: back-to-back packets arrive no faster than
+// the destination link can carry them.
+func (nw *Network) deliverTo(dst *port, b []byte, propDelay int64) {
+	if nw.lossRate > 0 && nw.lossRng.Float64() < nw.lossRate {
+		nw.stats.Lost++
+		return
+	}
+	now := nw.Eng.Now()
+	arrive := now + propDelay
+	rxTime := nw.serializationTime(dst, len(b))
+	if arrive < dst.rxFreeAt {
+		arrive = dst.rxFreeAt
+	}
+	dst.rxFreeAt = arrive + rxTime
+	nw.stats.Delivered++
+	nw.Eng.At(arrive+rxTime, func() { dst.nic.Rx(b) })
+}
+
+// SetLoss makes the network drop each delivered packet with probability
+// rate (failure injection for protocol testing). A nil rng seeds a
+// deterministic default.
+func (nw *Network) SetLoss(rate float64, rng *sim.Rand) {
+	if rng == nil {
+		rng = sim.NewRand(0x105e)
+	}
+	nw.lossRate = rate
+	nw.lossRng = rng
+}
+
+// AddRoute makes traffic for an unattached destination address travel via
+// the attached gateway host at via (which must run IP forwarding for the
+// traffic to go anywhere).
+func (nw *Network) AddRoute(dst, via pkt.Addr) {
+	nw.routes[dst] = via
+}
+
+// Inject places a raw packet on the wire toward its IP destination, as if
+// sent by an infinitely fast host. Traffic generators for overload
+// experiments use this; it bypasses any sender-side kernel entirely (the
+// paper used an in-kernel packet source for the same reason).
+func (nw *Network) Inject(b []byte) {
+	nw.stats.Injected++
+	nw.route(b, 0)
+}
+
+// LookupNIC returns the NIC attached at addr, if any.
+func (nw *Network) LookupNIC(addr pkt.Addr) (*nic.NIC, bool) {
+	p, ok := nw.ports[addr]
+	if !ok {
+		return nil, false
+	}
+	return p.nic, true
+}

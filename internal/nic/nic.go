@@ -1,0 +1,324 @@
+// Package nic models a network interface adaptor: a bounded receive ring
+// with host-interrupt signalling, a transmit interface queue drained at
+// link speed, an optional embedded processor (as on the FORE SBA-200's
+// i960) that can run the LRP demultiplexing function on the adaptor, and
+// the NI channel structure shared between the adaptor and the kernel.
+//
+// The NIC is policy-free: what happens when a packet is received — raise
+// an interrupt per packet (BSD), demultiplex in the interrupt handler
+// (soft demux), or demultiplex on the embedded processor (NI demux) — is
+// wired up by the architecture layer via callbacks.
+package nic
+
+import (
+	"lrp/internal/mbuf"
+	"lrp/internal/sim"
+)
+
+// Mode selects where received packets go before the host sees them.
+type Mode int
+
+const (
+	// ModeRaw delivers packets to the host receive ring and raises a host
+	// interrupt; all demultiplexing happens on the host. Used by the BSD,
+	// SOFT-LRP and Early-Demux configurations.
+	ModeRaw Mode = iota
+	// ModeSmart runs OnNICProcess for each packet on the embedded NIC
+	// processor (after a per-packet processing delay) instead of touching
+	// the host. Used by the NI-LRP configuration.
+	ModeSmart
+)
+
+// Stats counts NIC-level events.
+type Stats struct {
+	RxPackets    uint64 // packets received from the wire
+	RxRingDrops  uint64 // packets lost to receive-ring overflow (ModeRaw)
+	NICDrops     uint64 // packets dropped by the embedded processor's input queue
+	TxPackets    uint64 // packets transmitted
+	TxQueueDrops uint64 // packets lost to interface-queue overflow
+	HostIntrs    uint64 // host interrupts raised
+}
+
+// NIC is one simulated network adaptor.
+type NIC struct {
+	Eng  *sim.Engine
+	Name string
+
+	// Pool supplies receive buffers; exhaustion drops packets at the ring,
+	// mirroring mbuf exhaustion in the host (ModeRaw) or on-board buffer
+	// exhaustion (ModeSmart).
+	Pool *mbuf.Pool
+
+	// Mode selects the receive path.
+	Mode Mode
+
+	// OnHostIntr is invoked (in engine context) when the adaptor raises a
+	// host interrupt: on ring empty->nonempty transitions in ModeRaw, or
+	// when requested by a channel in ModeSmart. The architecture layer
+	// typically posts hardware-interrupt work to the kernel here.
+	OnHostIntr func()
+
+	// OnNICProcess runs on the embedded processor for each received packet
+	// in ModeSmart, after NICPerPktCost of adaptor CPU time. It should
+	// classify the packet onto an NI channel (or drop it).
+	OnNICProcess func(m *mbuf.Mbuf)
+
+	// NICPerPktCost is the embedded processor's per-packet processing time
+	// in microseconds (ModeSmart).
+	NICPerPktCost int64
+
+	// NICInputLimit bounds the embedded processor's input backlog; beyond
+	// it packets are dropped on the adaptor, costing the host nothing.
+	NICInputLimit int
+
+	// Transmit is installed by the network layer; it serializes b onto the
+	// wire and calls done when the link is free for the next packet.
+	Transmit func(b []byte, done func())
+
+	rxRing       *mbuf.Queue
+	intrPending  bool
+	intrDisabled bool
+
+	nicBacklog   int      // packets queued for the embedded processor
+	nicBusyUntil sim.Time // when the embedded processor finishes its backlog
+
+	ifq    *mbuf.Queue
+	txBusy bool
+
+	stats Stats
+}
+
+// Config bundles NIC construction parameters.
+type Config struct {
+	Name          string
+	Mode          Mode
+	RxRingSize    int // ModeRaw ring slots (0 = 64)
+	IfqLimit      int // interface queue limit (0 = 50, the BSD default)
+	Pool          *mbuf.Pool
+	NICPerPktCost int64
+	NICInputLimit int
+}
+
+// New creates a NIC.
+func New(eng *sim.Engine, cfg Config) *NIC {
+	if cfg.RxRingSize == 0 {
+		cfg.RxRingSize = 64
+	}
+	if cfg.IfqLimit == 0 {
+		cfg.IfqLimit = 50
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = mbuf.NewPool(0)
+	}
+	if cfg.NICInputLimit == 0 {
+		cfg.NICInputLimit = 256
+	}
+	return &NIC{
+		Eng:           eng,
+		Name:          cfg.Name,
+		Pool:          cfg.Pool,
+		Mode:          cfg.Mode,
+		NICPerPktCost: cfg.NICPerPktCost,
+		NICInputLimit: cfg.NICInputLimit,
+		rxRing:        mbuf.NewQueue(cfg.RxRingSize),
+		ifq:           mbuf.NewQueue(cfg.IfqLimit),
+	}
+}
+
+// Stats returns a snapshot of the NIC counters, folding in queue drops.
+func (n *NIC) Stats() Stats {
+	s := n.stats
+	s.RxRingDrops += n.rxRing.Drops()
+	s.TxQueueDrops += n.ifq.Drops()
+	return s
+}
+
+// Rx accepts a packet from the wire (engine context).
+func (n *NIC) Rx(b []byte) {
+	n.stats.RxPackets++
+	switch n.Mode {
+	case ModeRaw:
+		m := n.Pool.Alloc(b)
+		if m == nil {
+			n.stats.RxRingDrops++
+			return
+		}
+		m.Arrival = n.Eng.Now()
+		if !n.rxRing.Enqueue(m) {
+			return // counted via rxRing.Drops
+		}
+		if !n.intrPending && !n.intrDisabled {
+			n.intrPending = true
+			n.stats.HostIntrs++
+			if n.OnHostIntr != nil {
+				n.OnHostIntr()
+			}
+		}
+	case ModeSmart:
+		if n.nicBacklog >= n.NICInputLimit {
+			n.stats.NICDrops++
+			return
+		}
+		m := n.Pool.Alloc(b)
+		if m == nil {
+			n.stats.NICDrops++
+			return
+		}
+		m.Arrival = n.Eng.Now()
+		// The embedded processor serves packets serially.
+		now := n.Eng.Now()
+		if n.nicBusyUntil < now {
+			n.nicBusyUntil = now
+		}
+		n.nicBusyUntil += n.NICPerPktCost
+		n.nicBacklog++
+		n.Eng.At(n.nicBusyUntil, func() {
+			n.nicBacklog--
+			if n.OnNICProcess != nil {
+				n.OnNICProcess(m)
+			} else {
+				m.Free()
+			}
+		})
+	}
+}
+
+// RxDequeue removes the next packet from the receive ring (driver code in
+// host interrupt context). It returns nil when the ring is empty.
+func (n *NIC) RxDequeue() *mbuf.Mbuf { return n.rxRing.Dequeue() }
+
+// RxPeek returns the ring head without removing it (drivers use it to
+// price data-dependent interrupt work before performing it).
+func (n *NIC) RxPeek() *mbuf.Mbuf { return n.rxRing.Peek() }
+
+// RxPending returns the number of packets waiting in the receive ring.
+func (n *NIC) RxPending() int { return n.rxRing.Len() }
+
+// IntrDone re-enables receive interrupts after the driver has drained the
+// ring. If packets arrived meanwhile, a new interrupt is raised
+// immediately (engine context).
+func (n *NIC) IntrDone() {
+	n.intrPending = false
+	if n.intrDisabled {
+		return
+	}
+	if n.rxRing.Len() > 0 && n.Mode == ModeRaw {
+		n.intrPending = true
+		n.stats.HostIntrs++
+		if n.OnHostIntr != nil {
+			n.OnHostIntr()
+		}
+	}
+}
+
+// SetIntrEnabled enables or disables receive interrupts (the Mogul &
+// Ramakrishnan livelock mitigation disables them under overload and
+// polls instead). Re-enabling raises an interrupt immediately if packets
+// are waiting.
+func (n *NIC) SetIntrEnabled(enabled bool) {
+	n.intrDisabled = !enabled
+	if enabled && !n.intrPending && n.rxRing.Len() > 0 && n.Mode == ModeRaw {
+		n.intrPending = true
+		n.stats.HostIntrs++
+		if n.OnHostIntr != nil {
+			n.OnHostIntr()
+		}
+	}
+}
+
+// RaiseIntr raises a host interrupt on behalf of the embedded processor
+// (ModeSmart), e.g. when a channel transitions empty->nonempty and the
+// receiver requested interrupts.
+func (n *NIC) RaiseIntr() {
+	n.stats.HostIntrs++
+	if n.OnHostIntr != nil {
+		n.OnHostIntr()
+	}
+}
+
+// Send queues a packet for transmission. It is dropped (and freed) if the
+// interface queue is full. Transmission consumes no host CPU; the caller
+// accounts any driver cost itself.
+func (n *NIC) Send(m *mbuf.Mbuf) {
+	if !n.ifq.Enqueue(m) {
+		return
+	}
+	n.kickTx()
+}
+
+// IfqLen returns the current interface queue depth.
+func (n *NIC) IfqLen() int { return n.ifq.Len() }
+
+// kickTx starts transmitting if the link is idle.
+func (n *NIC) kickTx() {
+	if n.txBusy {
+		return
+	}
+	m := n.ifq.Dequeue()
+	if m == nil {
+		return
+	}
+	n.txBusy = true
+	n.stats.TxPackets++
+	b := m.Data
+	m.Free()
+	if n.Transmit == nil {
+		n.txDone()
+		return
+	}
+	n.Transmit(b, n.txDone)
+}
+
+func (n *NIC) txDone() {
+	n.txBusy = false
+	n.kickTx()
+}
+
+// Channel is an LRP network-interface channel: the queue pair shared
+// between the adaptor and the kernel for one endpoint. (This simulator
+// models the receiver queue and its free-buffer budget as a single bounded
+// queue; the transmit direction shares the NIC interface queue.)
+type Channel struct {
+	// Queue holds demultiplexed packets awaiting protocol processing.
+	Queue *mbuf.Queue
+	// IntrRequested is set by the kernel when a process blocks on the
+	// channel: the NIC then raises a host interrupt on the next
+	// empty->nonempty transition ("if the queue was previously empty, and
+	// a state flag indicates that interrupts are requested for this
+	// socket, the NI generates a host interrupt").
+	IntrRequested bool
+	// ProcessingDisabled causes arriving packets to be discarded at the
+	// channel. Used for listening sockets whose backlog is full: "protocol
+	// processing is disabled for listening sockets that have exceeded
+	// their listen backlog limit, thus causing the discard of further SYN
+	// packets at the NI channel queue."
+	ProcessingDisabled bool
+
+	// DisabledDrops counts packets discarded due to ProcessingDisabled.
+	DisabledDrops uint64
+
+	// Owner is an opaque reference to the endpoint (socket) the channel
+	// feeds; the architecture layer uses it during dispatch.
+	Owner any
+}
+
+// NewChannel creates a channel with the given queue limit.
+func NewChannel(limit int) *Channel {
+	return &Channel{Queue: mbuf.NewQueue(limit)}
+}
+
+// Deliver enqueues a demultiplexed packet, honouring early discard. It
+// returns true if the packet was queued and the queue was previously
+// empty (i.e. the caller should consider raising a host interrupt).
+func (c *Channel) Deliver(m *mbuf.Mbuf) (wasEmpty bool, ok bool) {
+	if c.ProcessingDisabled {
+		c.DisabledDrops++
+		m.Free()
+		return false, false
+	}
+	wasEmpty = c.Queue.Len() == 0
+	if !c.Queue.Enqueue(m) {
+		return false, false
+	}
+	return wasEmpty, true
+}

@@ -1,0 +1,64 @@
+package pkt
+
+// This file provides whole-packet builders. The protocol implementations
+// use them on the transmit side; traffic generators use them to synthesize
+// wire traffic (including deliberately malformed traffic for the overload
+// experiments).
+
+// UDPPacket assembles a complete IPv4/UDP packet with the given addressing
+// and payload. If checksum is false the UDP checksum is left zero (the
+// paper's UDP throughput tests ran with UDP checksumming disabled).
+func UDPPacket(src, dst Addr, sport, dport uint16, id uint16, ttl byte, payload []byte, checksum bool) []byte {
+	total := IPv4HeaderLen + UDPHeaderLen + len(payload)
+	b := make([]byte, total)
+	ih := IPv4Header{
+		TotalLen: uint16(total),
+		ID:       id,
+		TTL:      ttl,
+		Proto:    ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	uh := UDPHeader{
+		SrcPort: sport,
+		DstPort: dport,
+		Length:  uint16(UDPHeaderLen + len(payload)),
+	}
+	copy(b[IPv4HeaderLen+UDPHeaderLen:], payload)
+	EncodeUDP(b[IPv4HeaderLen:], &uh, src, dst, checksum)
+	EncodeIPv4(b, &ih)
+	return b
+}
+
+// TCPSegment assembles a complete IPv4/TCP segment.
+func TCPSegment(src, dst Addr, h *TCPHeader, id uint16, ttl byte, payload []byte) []byte {
+	hlen := h.HeaderLen()
+	segLen := hlen + len(payload)
+	total := IPv4HeaderLen + segLen
+	b := make([]byte, total)
+	ih := IPv4Header{
+		TotalLen: uint16(total),
+		ID:       id,
+		TTL:      ttl,
+		Proto:    ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	copy(b[IPv4HeaderLen+hlen:], payload)
+	EncodeTCP(b[IPv4HeaderLen:], h, src, dst, segLen)
+	EncodeIPv4(b, &ih)
+	return b
+}
+
+// Corrupt returns a copy of p with one byte of the transport payload (or
+// header, for short packets) flipped, leaving the IP header intact so the
+// packet still reaches protocol input where its checksum fails. This models
+// the paper's "corrupted data packets" overload source.
+func Corrupt(p []byte) []byte {
+	c := make([]byte, len(p))
+	copy(c, p)
+	if len(c) > IPv4HeaderLen {
+		c[len(c)-1] ^= 0xff
+	}
+	return c
+}

@@ -1,0 +1,397 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcAddr = IP(10, 0, 0, 1)
+	dstAddr = IP(10, 0, 0, 2)
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	b := []byte{0x01, 0x02, 0x03}
+	// Manually: 0x0102 + 0x0300 = 0x0402 -> ^0x0402.
+	if got := Checksum(b); got != ^uint16(0x0402) {
+		t.Fatalf("odd-length checksum = %#x", got)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4Header{
+		TOS:      0x10,
+		TotalLen: 84,
+		ID:       0x1234,
+		Flags:    FlagDontFragment,
+		TTL:      64,
+		Proto:    ProtoUDP,
+		Src:      srcAddr,
+		Dst:      dstAddr,
+	}
+	b := make([]byte, 84)
+	EncodeIPv4(b, &h)
+	got, hlen, err := DecodeIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hlen != IPv4HeaderLen {
+		t.Fatalf("hlen = %d", hlen)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestIPv4FragmentFields(t *testing.T) {
+	h := IPv4Header{TotalLen: 40, ID: 9, Flags: FlagMoreFrags, FragOff: 185, TTL: 5, Proto: ProtoUDP, Src: srcAddr, Dst: dstAddr}
+	b := make([]byte, 40)
+	EncodeIPv4(b, &h)
+	got, _, err := DecodeIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MoreFragments() || !got.IsFragment() || got.FragOff != 185 {
+		t.Fatalf("fragment fields lost: %+v", got)
+	}
+	h2 := IPv4Header{TotalLen: 40, FragOff: 100, TTL: 5, Proto: ProtoUDP, Src: srcAddr, Dst: dstAddr}
+	b2 := make([]byte, 40)
+	EncodeIPv4(b2, &h2)
+	got2, _, _ := DecodeIPv4(b2)
+	if got2.MoreFragments() {
+		t.Fatal("MF should be clear")
+	}
+	if !got2.IsFragment() {
+		t.Fatal("nonzero offset should count as fragment")
+	}
+}
+
+func TestIPv4DecodeErrors(t *testing.T) {
+	h := IPv4Header{TotalLen: 20, TTL: 1, Proto: ProtoUDP, Src: srcAddr, Dst: dstAddr}
+	b := make([]byte, 20)
+	EncodeIPv4(b, &h)
+
+	if _, _, err := DecodeIPv4(b[:10]); err != ErrTruncated {
+		t.Fatalf("short buffer: %v", err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 0x65 // version 6
+	if _, _, err := DecodeIPv4(bad); err != ErrBadVersion {
+		t.Fatalf("bad version: %v", err)
+	}
+	bad = append([]byte(nil), b...)
+	bad[0] = 0x44 // IHL 4 (<5)
+	if _, _, err := DecodeIPv4(bad); err != ErrBadHeaderLen {
+		t.Fatalf("bad IHL: %v", err)
+	}
+	bad = append([]byte(nil), b...)
+	bad[8] ^= 0xff // corrupt TTL -> checksum fails
+	if _, _, err := DecodeIPv4(bad); err != ErrBadChecksum {
+		t.Fatalf("corrupt header: %v", err)
+	}
+	// TotalLen larger than buffer.
+	h.TotalLen = 100
+	EncodeIPv4(b, &h)
+	if _, _, err := DecodeIPv4(b); err != ErrTruncated {
+		t.Fatalf("overlong TotalLen: %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := []byte("hello, LRP")
+	for _, ck := range []bool{true, false} {
+		p := UDPPacket(srcAddr, dstAddr, 1234, 80, 7, 64, payload, ck)
+		ih, hlen, err := DecodeIPv4(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ih.Proto != ProtoUDP || ih.TotalLen != uint16(len(p)) {
+			t.Fatalf("bad IP header %+v", ih)
+		}
+		uh, err := DecodeUDP(p[hlen:], ih.Src, ih.Dst)
+		if err != nil {
+			t.Fatalf("checksum=%v: %v", ck, err)
+		}
+		if uh.SrcPort != 1234 || uh.DstPort != 80 {
+			t.Fatalf("ports lost: %+v", uh)
+		}
+		got := p[hlen+UDPHeaderLen : hlen+int(uh.Length)]
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: %q", got)
+		}
+	}
+}
+
+func TestUDPChecksumDetectsCorruption(t *testing.T) {
+	p := UDPPacket(srcAddr, dstAddr, 1, 2, 0, 64, []byte("abcdef"), true)
+	c := Corrupt(p)
+	ih, hlen, err := DecodeIPv4(c)
+	if err != nil {
+		t.Fatalf("IP header should still parse: %v", err)
+	}
+	if _, err := DecodeUDP(c[hlen:], ih.Src, ih.Dst); err != ErrBadChecksum {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestUDPNoChecksumSkipsValidation(t *testing.T) {
+	p := UDPPacket(srcAddr, dstAddr, 1, 2, 0, 64, []byte("abcdef"), false)
+	c := Corrupt(p)
+	ih, hlen, _ := DecodeIPv4(c)
+	if _, err := DecodeUDP(c[hlen:], ih.Src, ih.Dst); err != nil {
+		t.Fatalf("checksum disabled should accept corruption: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCPHeader{
+		SrcPort: 5000, DstPort: 80,
+		Seq: 0xdeadbeef, Ack: 0x01020304,
+		Flags: TCPSyn | TCPAck, Window: 32 * 1024, MSS: 1460,
+	}
+	p := TCPSegment(srcAddr, dstAddr, &h, 42, 64, nil)
+	ih, hlen, err := DecodeIPv4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, off, err := DecodeTCP(p[hlen:], ih.Src, ih.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != TCPHeaderLen+TCPMSSOptLen {
+		t.Fatalf("data offset = %d", off)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestTCPRoundTripWithPayload(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xab}, 1000)
+	h := TCPHeader{SrcPort: 1, DstPort: 2, Seq: 100, Ack: 200, Flags: TCPAck | TCPPsh, Window: 8192}
+	p := TCPSegment(srcAddr, dstAddr, &h, 1, 64, payload)
+	ih, hlen, err := DecodeIPv4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, off, err := DecodeTCP(p[hlen:], ih.Src, ih.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MSS != 0 {
+		t.Fatalf("phantom MSS: %d", got.MSS)
+	}
+	if !bytes.Equal(p[hlen+off:], payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	h := TCPHeader{SrcPort: 1, DstPort: 2, Seq: 9, Flags: TCPAck, Window: 100}
+	p := TCPSegment(srcAddr, dstAddr, &h, 1, 64, []byte("data!"))
+	c := Corrupt(p)
+	ih, hlen, _ := DecodeIPv4(c)
+	if _, _, err := DecodeTCP(c[hlen:], ih.Src, ih.Dst); err != ErrBadChecksum {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestTCPFlagString(t *testing.T) {
+	if s := TCPFlagString(TCPSyn | TCPAck); s != "SYN|ACK" {
+		t.Fatalf("got %q", s)
+	}
+	if s := TCPFlagString(0); s != "none" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestTCPDecodeTruncated(t *testing.T) {
+	if _, _, err := DecodeTCP(make([]byte, 10), srcAddr, dstAddr); err != ErrTruncated {
+		t.Fatalf("got %v", err)
+	}
+	// Data offset beyond buffer.
+	b := make([]byte, TCPHeaderLen)
+	b[12] = 0xf0 // offset 60
+	if _, _, err := DecodeTCP(b, srcAddr, dstAddr); err != ErrBadHeaderLen {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPOptionScanIgnoresUnknown(t *testing.T) {
+	// Hand-build a header with a NOP, an unknown option, then MSS.
+	hlen := TCPHeaderLen + 12
+	seg := make([]byte, hlen)
+	seg[12] = byte(hlen/4) << 4
+	seg[13] = TCPAck
+	opts := seg[TCPHeaderLen:]
+	opts[0] = 1                   // NOP
+	opts[1], opts[2] = 254, 4     // unknown kind, len 4
+	opts[5], opts[6] = 2, 4       // MSS
+	opts[7], opts[8] = 0x05, 0xb4 // 1460
+	opts[9], opts[10], opts[11] = 0, 0, 0
+	// Compute checksum via Encode-style path: zero cksum then fill.
+	var sum [2]byte
+	_ = sum
+	// Patch checksum manually.
+	seg[16], seg[17] = 0, 0
+	ck := testPseudo(srcAddr, dstAddr, ProtoTCP, seg)
+	seg[16], seg[17] = byte(ck>>8), byte(ck)
+	h, off, err := DecodeTCP(seg, srcAddr, dstAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != hlen || h.MSS != 1460 {
+		t.Fatalf("off=%d mss=%d", off, h.MSS)
+	}
+}
+
+// testPseudo re-exposes the pseudo-header checksum for option tests.
+func testPseudo(src, dst Addr, proto byte, seg []byte) uint16 {
+	return pseudoChecksum(src, dst, proto, seg)
+}
+
+func TestAddrHelpers(t *testing.T) {
+	if IP(224, 0, 0, 1).IsMulticast() != true {
+		t.Fatal("224.0.0.1 should be multicast")
+	}
+	if IP(10, 1, 2, 3).IsMulticast() {
+		t.Fatal("10.1.2.3 is not multicast")
+	}
+	if !(Addr{}).IsZero() {
+		t.Fatal("zero addr")
+	}
+	if IP(1, 2, 3, 4).String() != "1.2.3.4" {
+		t.Fatal("addr string")
+	}
+}
+
+// Property: UDP packets round-trip for arbitrary ports and payloads.
+func TestUDPRoundTripProperty(t *testing.T) {
+	f := func(sport, dport uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		p := UDPPacket(srcAddr, dstAddr, sport, dport, 3, 64, payload, true)
+		ih, hlen, err := DecodeIPv4(p)
+		if err != nil {
+			return false
+		}
+		uh, err := DecodeUDP(p[hlen:], ih.Src, ih.Dst)
+		if err != nil {
+			return false
+		}
+		return uh.SrcPort == sport && uh.DstPort == dport &&
+			bytes.Equal(p[hlen+UDPHeaderLen:hlen+int(uh.Length)], payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TCP headers round-trip for arbitrary field values.
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(sport, dport uint16, seq, ack uint32, flags byte, win uint16) bool {
+		h := TCPHeader{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack,
+			Flags: flags & 0x3f, Window: win}
+		p := TCPSegment(srcAddr, dstAddr, &h, 1, 64, []byte("xy"))
+		ih, hlen, err := DecodeIPv4(p)
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeTCP(p[hlen:], ih.Src, ih.Dst)
+		if err != nil {
+			return false
+		}
+		return got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Internet checksum of any buffer with its own checksum
+// embedded verifies to zero.
+func TestChecksumSelfVerifyProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 4 {
+			return true
+		}
+		b := append([]byte(nil), data...)
+		if len(b)%2 == 1 {
+			b = append(b, 0)
+		}
+		b[0], b[1] = 0, 0
+		ck := Checksum(b)
+		b[0], b[1] = byte(ck>>8), byte(ck)
+		return Checksum(b) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUDPEncodeDecode(b *testing.B) {
+	payload := make([]byte, 1400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := UDPPacket(srcAddr, dstAddr, 1, 2, uint16(i), 64, payload, true)
+		ih, hlen, err := DecodeIPv4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeUDP(p[hlen:], ih.Src, ih.Dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: decoders never panic on arbitrary bytes — they are the first
+// code to touch untrusted wire input.
+func TestDecodersNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _, _ = DecodeIPv4(b)
+		_, _ = DecodeUDP(b, srcAddr, dstAddr)
+		_, _, _ = DecodeTCP(b, srcAddr, dstAddr)
+		_ = Checksum(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of a checksummed UDP packet is
+// detected either by the IP header checksum or the UDP checksum (or
+// renders the packet unparseable) — except for the rare 16-bit-sum
+// aliasing where a flip in length fields produces an equal sum.
+func TestSingleByteCorruptionDetected(t *testing.T) {
+	base := UDPPacket(srcAddr, dstAddr, 1234, 80, 7, 64, []byte("integrity matters"), true)
+	undetected := 0
+	for i := range base {
+		c := append([]byte(nil), base...)
+		c[i] ^= 0x5a
+		ih, hlen, err := DecodeIPv4(c)
+		if err != nil {
+			continue // detected at IP
+		}
+		if ih.Proto != ProtoUDP || ih.Src != srcAddr || ih.Dst != dstAddr {
+			continue // header change visible
+		}
+		if _, err := DecodeUDP(c[hlen:int(ih.TotalLen)], ih.Src, ih.Dst); err != nil {
+			continue // detected at UDP
+		}
+		undetected++
+	}
+	if undetected > 0 {
+		t.Fatalf("%d single-byte corruptions went undetected", undetected)
+	}
+}

@@ -1,0 +1,151 @@
+// Package plot renders simple ASCII line charts in the terminal, so
+// lrpbench can draw the paper's figures (throughput vs offered load,
+// latency vs background rate, HTTP throughput vs SYN rate) next to their
+// numeric tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// defaultMarkers cycle when a series does not set one.
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart describes one plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+// Add appends a series built from x/y pairs.
+func (c *Chart) Add(name string, x, y []float64) {
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Render draws the chart into a string.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // y axis anchored at zero
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	plotXY := func(x, y float64, m byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(h-1)))
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		r := h - 1 - row
+		if grid[r][col] == ' ' || grid[r][col] == m {
+			grid[r][col] = m
+		} else {
+			grid[r][col] = '&' // overlapping series
+		}
+	}
+
+	for si, s := range c.Series {
+		m := s.Marker
+		if m == 0 {
+			m = defaultMarkers[si%len(defaultMarkers)]
+		}
+		// Linear interpolation between successive points for a line-ish look.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := w / max(1, len(s.X)-1)
+			if steps < 2 {
+				steps = 2
+			}
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plotXY(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, m)
+			}
+		}
+		if len(s.X) == 1 {
+			plotXY(s.X[0], s.Y[0], m)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLab := c.YLabel
+	fmt.Fprintf(&b, "%s\n", yLab)
+	for i, row := range grid {
+		yVal := ymax - (ymax-ymin)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%10.0f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*.0f%*.0f\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", center(c.XLabel, w))
+	}
+	// Legend.
+	for si, s := range c.Series {
+		m := s.Marker
+		if m == 0 {
+			m = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", m, s.Name)
+	}
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{Title: "test chart", XLabel: "x", YLabel: "y"}
+	c.Add("up", []float64{0, 1, 2, 3}, []float64{0, 10, 20, 30})
+	c.Add("down", []float64{0, 1, 2, 3}, []float64{30, 20, 10, 0})
+	out := c.Render()
+	for _, want := range []string{"test chart", "up", "down", "*", "o", "|", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if out := c.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := Chart{}
+	c.Add("dot", []float64{5}, []float64{5})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same y) must not divide by zero.
+	c := Chart{}
+	c.Add("flat", []float64{0, 1, 2}, []float64{7, 7, 7})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestMarkersDistinct(t *testing.T) {
+	c := Chart{Width: 40, Height: 10}
+	c.Add("a", []float64{0, 1}, []float64{0, 10})
+	c.Add("b", []float64{0, 1}, []float64{10, 0})
+	out := c.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers not distinct:\n%s", out)
+	}
+}
+
+func TestYAxisAnchoredAtZero(t *testing.T) {
+	c := Chart{Width: 30, Height: 5}
+	c.Add("high", []float64{0, 1}, []float64{100, 110})
+	out := c.Render()
+	if !strings.Contains(out, "0 |") {
+		t.Fatalf("y axis should include zero:\n%s", out)
+	}
+}

@@ -1,0 +1,198 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock measured in integer microseconds and
+// a priority queue of scheduled events. Events scheduled for the same time
+// fire in the order they were scheduled (FIFO tie-breaking via a sequence
+// number), which keeps whole-system runs deterministic and reproducible.
+//
+// All higher layers of the LRP reproduction — the simulated kernel, NICs,
+// links, protocols and applications — advance time exclusively through this
+// engine. Nothing in the repository reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in microseconds since the start of the
+// run. Durations are expressed as plain int64 microsecond counts.
+type Time = int64
+
+// Common durations, in microseconds.
+const (
+	Microsecond int64 = 1
+	Millisecond int64 = 1000
+	Second      int64 = 1000 * 1000
+)
+
+// MaxTime is the largest representable simulated time. It is used as a
+// sentinel "never" deadline.
+const MaxTime Time = math.MaxInt64
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	when Time
+	seq  uint64
+	idx  int // heap index; -1 once fired or cancelled
+	fn   func()
+}
+
+// When returns the time at which the event is (or was) scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether the event has fired or been cancelled.
+func (e *Event) Cancelled() bool { return e.idx < 0 }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// processed counts events that have fired, for diagnostics and for the
+	// runaway-loop guard in RunUntil.
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events that have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it always indicates a logic error in a simulation layer.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d microseconds from now. A non-positive d runs
+// the event at the current time, after any already-queued events for this
+// instant.
+func (e *Engine) After(d int64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// has already fired or been cancelled is a no-op, so callers may cancel
+// unconditionally.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+	ev.fn = nil
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// returns false if the queue is empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.idx = -1
+	e.now = ev.when
+	fn := ev.fn
+	ev.fn = nil
+	e.processed++
+	fn()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline. Events scheduled exactly at the deadline fire. It returns
+// the number of events processed.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.processed
+	for !e.stopped && e.queue.Len() > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return e.processed - start
+}
+
+// RunFor advances the simulation by d microseconds from the current time.
+func (e *Engine) RunFor(d int64) uint64 {
+	return e.RunUntil(e.now + d)
+}
+
+// Stop halts the engine: no further events fire from Run/RunUntil/Step.
+// Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// NextEventTime returns the timestamp of the earliest queued event, or
+// MaxTime if the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	if e.queue.Len() == 0 {
+		return MaxTime
+	}
+	return e.queue[0].when
+}
+
+// eventHeap implements container/heap ordered by (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

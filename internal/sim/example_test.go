@@ -1,0 +1,39 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"lrp/internal/sim"
+)
+
+// Example shows the basic event-scheduling workflow.
+func Example() {
+	eng := sim.NewEngine()
+	eng.At(100, func() { fmt.Println("first, at", eng.Now()) })
+	eng.After(250, func() { fmt.Println("second, at", eng.Now()) })
+	eng.RunFor(sim.Millisecond)
+	fmt.Println("clock:", eng.Now())
+	// Output:
+	// first, at 100
+	// second, at 250
+	// clock: 1000
+}
+
+// ExampleEngine_Cancel shows that cancelled events never fire.
+func ExampleEngine_Cancel() {
+	eng := sim.NewEngine()
+	ev := eng.At(10, func() { fmt.Println("never") })
+	eng.Cancel(ev)
+	eng.Run()
+	fmt.Println("done at", eng.Now())
+	// Output:
+	// done at 0
+}
+
+// ExampleRand shows deterministic traffic-pacing randomness.
+func ExampleRand() {
+	a, b := sim.NewRand(42), sim.NewRand(42)
+	fmt.Println(a.Int63n(1000) == b.Int63n(1000))
+	// Output:
+	// true
+}

@@ -1,0 +1,77 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random number generator
+// (xorshift64*). The simulation cannot use math/rand's global state because
+// experiments must be reproducible from an explicit seed, and cannot use
+// crypto/rand or time-based seeding at all.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. A zero seed is replaced with
+// a fixed non-zero constant, since xorshift has an all-zero fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Int63n returns a uniform pseudo-random int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Jitter returns d perturbed by up to ±frac (e.g. frac = 0.1 for ±10%).
+// It never returns a negative duration.
+func (r *Rand) Jitter(d int64, frac float64) int64 {
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	span := float64(d) * frac
+	v := d + int64((r.Float64()*2-1)*span)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, truncated at 20x the mean to keep event queues bounded. It is used
+// for Poisson packet sources.
+func (r *Rand) ExpDuration(mean int64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	// Inverse-CDF sampling: -ln(1-U) * mean.
+	u := r.Float64()
+	// ln via math is fine; avoid u==1 which would yield +Inf.
+	if u > 0.999999 {
+		u = 0.999999
+	}
+	d := int64(-math.Log(1-u) * float64(mean))
+	if max := 20 * mean; d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,227 @@
+// Package socket provides the socket-layer data structures shared by all
+// network-subsystem architectures: sockets, datagram receive queues,
+// stream buffers and the wait queues processes block on. Protocol state
+// machines live in the udp and tcp packages; system-call semantics (and
+// thus the difference between BSD and LRP receive processing) live in the
+// core package.
+package socket
+
+import (
+	"lrp/internal/kernel"
+	"lrp/internal/nic"
+	"lrp/internal/pkt"
+)
+
+// Type distinguishes datagram (UDP) from stream (TCP) sockets.
+type Type int
+
+const (
+	// Dgram is a UDP socket.
+	Dgram Type = iota
+	// Stream is a TCP socket.
+	Stream
+)
+
+// Datagram is one received UDP message with its source address.
+type Datagram struct {
+	Data  []byte
+	Src   pkt.Addr
+	SPort uint16
+	// Arrival is when the packet arrived from the wire, for latency
+	// measurements.
+	Arrival int64
+}
+
+// DgramQueue is a bounded FIFO of received datagrams (the BSD socket
+// receive queue for UDP, bounded in messages).
+type DgramQueue struct {
+	Limit int
+	q     []Datagram
+	drops uint64
+}
+
+// NewDgramQueue returns a queue bounded at limit datagrams (0 = unbounded).
+func NewDgramQueue(limit int) *DgramQueue { return &DgramQueue{Limit: limit} }
+
+// Len returns the number of queued datagrams.
+func (q *DgramQueue) Len() int { return len(q.q) }
+
+// Full reports whether the queue is at its limit.
+func (q *DgramQueue) Full() bool { return q.Limit > 0 && len(q.q) >= q.Limit }
+
+// Drops returns the count of datagrams refused because the queue was full.
+func (q *DgramQueue) Drops() uint64 { return q.drops }
+
+// Enqueue appends d; it reports false (and counts a drop) if full.
+func (q *DgramQueue) Enqueue(d Datagram) bool {
+	if q.Full() {
+		q.drops++
+		return false
+	}
+	q.q = append(q.q, d)
+	return true
+}
+
+// Dequeue removes and returns the head datagram.
+func (q *DgramQueue) Dequeue() (Datagram, bool) {
+	if len(q.q) == 0 {
+		return Datagram{}, false
+	}
+	d := q.q[0]
+	q.q[0] = Datagram{}
+	q.q = q.q[1:]
+	if len(q.q) == 0 && cap(q.q) > 1024 {
+		q.q = nil
+	}
+	return d, true
+}
+
+// StreamBuf is a bounded byte buffer (TCP send/receive socket buffer).
+type StreamBuf struct {
+	Limit int
+	data  []byte
+	// Base tracks how many bytes have ever been removed, so stream offsets
+	// can be mapped to sequence numbers by the TCP layer.
+	Base int64
+}
+
+// NewStreamBuf returns a buffer bounded at limit bytes.
+func NewStreamBuf(limit int) *StreamBuf { return &StreamBuf{Limit: limit} }
+
+// Len returns the number of buffered bytes.
+func (b *StreamBuf) Len() int { return len(b.data) }
+
+// Space returns how many more bytes fit.
+func (b *StreamBuf) Space() int {
+	if b.Limit <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	s := b.Limit - len(b.data)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Append copies in as much of p as fits and returns the number accepted.
+func (b *StreamBuf) Append(p []byte) int {
+	n := len(p)
+	if sp := b.Space(); n > sp {
+		n = sp
+	}
+	b.data = append(b.data, p[:n]...)
+	return n
+}
+
+// Read removes up to n bytes from the front.
+func (b *StreamBuf) Read(n int) []byte {
+	if n > len(b.data) {
+		n = len(b.data)
+	}
+	out := make([]byte, n)
+	copy(out, b.data)
+	b.data = b.data[n:]
+	b.Base += int64(n)
+	if len(b.data) == 0 && cap(b.data) > 64*1024 {
+		b.data = nil
+	}
+	return out
+}
+
+// Peek returns up to n bytes starting at offset off from the front,
+// without removing them (used by TCP retransmission).
+func (b *StreamBuf) Peek(off, n int) []byte {
+	if off >= len(b.data) {
+		return nil
+	}
+	end := off + n
+	if end > len(b.data) {
+		end = len(b.data)
+	}
+	return b.data[off:end]
+}
+
+// Discard removes n bytes from the front without copying (ACK processing).
+func (b *StreamBuf) Discard(n int) {
+	if n > len(b.data) {
+		n = len(b.data)
+	}
+	b.data = b.data[n:]
+	b.Base += int64(n)
+	if len(b.data) == 0 && cap(b.data) > 64*1024 {
+		b.data = nil
+	}
+}
+
+// Stats collects per-socket counters used by the experiments.
+type Stats struct {
+	RxDelivered uint64 // messages/segments delivered to the application
+	RxBytes     uint64
+	TxPackets   uint64
+	TxBytes     uint64
+	// SockQDrops counts packets discarded at the socket queue (BSD) —
+	// distinct from channel-queue drops, which live on the NI channel.
+	SockQDrops uint64
+	// ProtoDrops counts packets discarded during protocol processing
+	// (bad checksum, no connection state, etc.).
+	ProtoDrops uint64
+}
+
+// Socket is one communication endpoint.
+type Socket struct {
+	Type  Type
+	Proto byte
+
+	Local  pkt.Addr
+	LPort  uint16
+	Remote pkt.Addr
+	RPort  uint16
+
+	Bound     bool
+	Connected bool
+	Closed    bool
+
+	// NoUDPChecksum disables UDP checksumming on this socket (the paper's
+	// UDP throughput test ran with checksumming disabled).
+	NoUDPChecksum bool
+
+	// Owner is the process that receives this socket's traffic; LRP
+	// schedules and charges receive processing to it. For sockets shared
+	// by several processes, this is the highest-priority participant.
+	Owner *kernel.Proc
+
+	// RecvDgrams is the datagram receive queue (Dgram sockets).
+	RecvDgrams *DgramQueue
+
+	// Conn is the attached TCP connection state (Stream sockets); typed
+	// as any to avoid an import cycle with the tcp package.
+	Conn any
+
+	// Backlog is the configured listen backlog (the live accept queue
+	// lives on the TCP connection).
+	Backlog int
+	// Listening marks a stream socket in LISTEN state.
+	Listening bool
+
+	// NIChan is the LRP network-interface channel feeding this socket
+	// (nil under BSD and Early-Demux).
+	NIChan *nic.Channel
+
+	// Wait queues.
+	RcvWait    kernel.WaitQ
+	SndWait    kernel.WaitQ
+	AcceptWait kernel.WaitQ
+
+	Stats Stats
+}
+
+// NewSocket creates an unbound socket of the given type owned by owner.
+func NewSocket(t Type, owner *kernel.Proc) *Socket {
+	s := &Socket{Type: t, Owner: owner}
+	if t == Dgram {
+		s.Proto = pkt.ProtoUDP
+	} else {
+		s.Proto = pkt.ProtoTCP
+	}
+	return s
+}

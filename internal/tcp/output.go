@@ -1,0 +1,255 @@
+package tcp
+
+import "lrp/internal/pkt"
+
+// output transmits whatever the send window and congestion window allow,
+// including a queued FIN once the buffer drains. Mirrors tcp_output.
+func (c *Conn) output() {
+	if c.State == Closed || c.State == Listen || c.listening {
+		return
+	}
+	for {
+		inFlight := int(c.sndNxt - c.sndUna)
+		win := int(c.sndWnd)
+		if c.cwnd < win {
+			win = c.cwnd
+		}
+		usable := win - inFlight
+		offset := int(c.sndNxt - c.sndUna) // bytes into SndBuf
+		if c.finSent && offset > 0 {
+			offset-- // FIN occupies one sequence number past the data
+		}
+		pending := c.SndBuf.Len() - offset
+		if pending < 0 {
+			pending = 0
+		}
+
+		// Zero window with data pending: run the persist machinery.
+		if usable <= 0 {
+			if pending > 0 && c.sndWnd == 0 && inFlight == 0 {
+				c.armPersist()
+			}
+			return
+		}
+
+		n := pending
+		if n > usable {
+			n = usable
+		}
+		if n > c.MSS {
+			n = c.MSS
+		}
+
+		sendFin := c.finQueued && !c.finSent && pending-n == 0 && usable > n
+		if n == 0 && !sendFin {
+			return
+		}
+		// Nagle: hold a sub-MSS segment while data is outstanding — but
+		// only when the segment is small because the buffer ran dry
+		// (n == pending). A window-limited segment (n < pending) is sent:
+		// holding it would deadlock against the receiver's delayed ACK.
+		if !c.NoDelay && !sendFin && n > 0 && n < c.MSS && n == pending && inFlight > 0 {
+			return
+		}
+
+		flags := byte(pkt.TCPAck)
+		var payload []byte
+		if n > 0 {
+			payload = c.SndBuf.Peek(offset, n)
+			if pending == n {
+				flags |= pkt.TCPPsh
+			}
+		}
+		if sendFin {
+			flags |= pkt.TCPFin
+		}
+		seq := c.sndNxt
+		c.clearDelack() // the segment carries our ACK
+		c.sendFlags(flags, seq, payload, false)
+		c.sndNxt += uint32(n)
+		if sendFin {
+			c.finSent = true
+			c.sndNxt++
+		}
+		// Time one segment per window for RTT estimation (Karn: only
+		// non-retransmitted data is timed; rttStart==0 means idle).
+		if n > 0 && c.rttStart == 0 {
+			c.rttStart = c.H.Now()
+			c.rttSeq = seq + uint32(n)
+		}
+		c.armRexmt()
+	}
+}
+
+// rto returns the current retransmission timeout.
+func (c *Conn) rto() int64 {
+	var rto int64
+	if c.srtt == 0 {
+		rto = initialRTO
+	} else {
+		rto = c.srtt + 4*c.rttvar
+	}
+	if rto < minRTO {
+		rto = minRTO
+	}
+	rto <<= uint(c.rexmits)
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}
+
+// armRexmt (re)starts the retransmission timer.
+func (c *Conn) armRexmt() {
+	c.H.ArmTimer(c, TimerRexmt, c.rto())
+}
+
+func (c *Conn) armPersist() {
+	c.H.ArmTimer(c, TimerPersist, persistIvl)
+}
+
+// updateRTT folds a measured sample into the Jacobson estimator.
+func (c *Conn) updateRTT(sample int64) {
+	if sample < 1 {
+		sample = 1
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	delta := sample - c.srtt
+	c.srtt += delta / 8
+	if delta < 0 {
+		delta = -delta
+	}
+	c.rttvar += (delta - c.rttvar) / 4
+}
+
+// TimerExpire processes a fired timer. The host calls it from the same
+// execution context it uses for other protocol processing.
+func (c *Conn) TimerExpire(t Timer) {
+	switch t {
+	case TimerRexmt:
+		c.rexmtExpire()
+	case TimerPersist:
+		c.persistExpire()
+	case TimerTimeWait:
+		if c.State == TimeWait {
+			c.toClosed()
+		}
+	case TimerDelack:
+		if c.delackPending {
+			c.sendAck()
+		}
+	}
+}
+
+// rexmtExpire retransmits the oldest unacknowledged segment.
+func (c *Conn) rexmtExpire() {
+	switch c.State {
+	case Closed, Listen, TimeWait:
+		return
+	}
+	c.rexmits++
+	maxTries := maxRexmits
+	if c.State == SynSent || c.State == SynRcvd {
+		maxTries = c.H.MaxSynRetries
+		if maxTries <= 0 {
+			maxTries = 4
+		}
+	}
+	if c.rexmits > maxTries {
+		// Give up: the paper's Fig. 5 clients see exactly this when their
+		// connection requests are lost at an overloaded server.
+		c.notify(EvReset)
+		c.toClosed()
+		return
+	}
+	c.Stats.Retransmits++
+	c.rttStart = 0 // Karn: do not time retransmitted data
+
+	switch c.State {
+	case SynSent:
+		c.sendFlags(pkt.TCPSyn, c.iss, nil, true)
+	case SynRcvd:
+		c.sendFlags(pkt.TCPSyn|pkt.TCPAck, c.iss, nil, true)
+	default:
+		// Congestion response: multiplicative decrease, restart slow start.
+		c.congestionReset()
+		c.retransmitHead()
+	}
+	c.armRexmt()
+}
+
+// halveFlight returns half the data in flight, floored at two segments —
+// the multiplicative-decrease target.
+func (c *Conn) halveFlight() int {
+	flight := int(c.sndNxt - c.sndUna)
+	if w := int(c.sndWnd); w < flight {
+		flight = w
+	}
+	half := flight / 2
+	if half < 2*c.MSS {
+		half = 2 * c.MSS
+	}
+	return half
+}
+
+// congestionReset applies the RTO congestion response.
+func (c *Conn) congestionReset() {
+	c.ssthresh = c.halveFlight()
+	c.cwnd = c.MSS
+	c.dupAcks = 0
+}
+
+// retransmitHead resends one segment starting at sndUna.
+func (c *Conn) retransmitHead() {
+	n := c.SndBuf.Len()
+	if n > c.MSS {
+		n = c.MSS
+	}
+	flags := byte(pkt.TCPAck)
+	var payload []byte
+	if n > 0 {
+		payload = c.SndBuf.Peek(0, n)
+	} else if c.finSent {
+		flags |= pkt.TCPFin
+	} else {
+		return
+	}
+	c.sendFlags(flags, c.sndUna, payload, false)
+}
+
+// persistExpire sends a one-byte window probe.
+func (c *Conn) persistExpire() {
+	if c.State == Closed || c.State == Listen {
+		return
+	}
+	if c.sndWnd > 0 {
+		c.output()
+		return
+	}
+	if c.SndBuf.Len() > 0 {
+		probe := c.SndBuf.Peek(0, 1)
+		c.sendFlags(pkt.TCPAck, c.sndUna, probe, false)
+	}
+	c.armPersist()
+}
+
+// openCwnd grows the congestion window on a new ACK (slow start below
+// ssthresh, linear congestion avoidance above).
+func (c *Conn) openCwnd() {
+	if c.cwnd < c.ssthresh {
+		c.cwnd += c.MSS
+	} else {
+		incr := c.MSS * c.MSS / c.cwnd
+		if incr < 1 {
+			incr = 1
+		}
+		c.cwnd += incr
+	}
+	if max := 64 * 1024; c.cwnd > max {
+		c.cwnd = max
+	}
+}

@@ -1,0 +1,272 @@
+package tcp
+
+// Additional TCP behaviour tests: half-close, listener lifecycle,
+// retransmission backoff timing, window updates, and state-machine edges.
+
+import (
+	"bytes"
+	"testing"
+
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+func TestHalfCloseDataStillFlows(t *testing.T) {
+	// After the client closes its sending side, the server can keep
+	// sending data until it closes too.
+	n := newTestNet(t)
+	cl, sv := dial(t, n)
+	cl.Close()
+	n.eng.RunFor(20 * 1000)
+	if sv.State != CloseWait {
+		t.Fatalf("server state %v", sv.State)
+	}
+	sv.Write([]byte("late data"))
+	n.eng.RunFor(20 * 1000)
+	if got := cl.Read(100); string(got) != "late data" {
+		t.Fatalf("client got %q after half-close", got)
+	}
+	sv.Close()
+	n.eng.RunFor(20 * 1000)
+	if sv.State != Closed {
+		t.Fatalf("server state %v", sv.State)
+	}
+}
+
+func TestWriteAfterCloseRefused(t *testing.T) {
+	n := newTestNet(t)
+	cl, _ := dial(t, n)
+	cl.Close()
+	if n := cl.Write([]byte("x")); n != 0 {
+		t.Fatalf("write after close accepted %d bytes", n)
+	}
+}
+
+func TestListenerAbortKillsEmbryonic(t *testing.T) {
+	n := newTestNet(t)
+	l := n.newConn(hostB, 80, pkt.Addr{}, 0)
+	l.ListenOn(5)
+	cl := n.newConn(hostA, 4000, hostB, 80)
+	cl.Connect()
+	// Tear the listener down mid-handshake-ish; existing children live on,
+	// but the listener stops accepting new SYNs.
+	n.eng.RunFor(5 * 1000)
+	l.Abort()
+	if l.State != Closed {
+		t.Fatalf("listener state %v", l.State)
+	}
+	h2 := n.newConn(hostA, 4001, hostB, 80)
+	h2.Connect()
+	n.eng.RunFor(20 * 1000)
+	if h2.State == Established {
+		t.Fatal("connect succeeded against a closed listener")
+	}
+}
+
+func TestSynRetransmitBackoffTiming(t *testing.T) {
+	n := newTestNet(t)
+	var sent []sim.Time
+	n.drop = func(b []byte) bool { return true }
+	n.hooks.Output = func(c *Conn, b []byte) {
+		sent = append(sent, n.eng.Now())
+	}
+	cl := n.newConn(hostA, 4000, hostB, 80)
+	cl.Connect()
+	n.eng.RunFor(60 * sim.Second)
+	// Initial SYN + MaxSynRetries(3) retransmissions with doubling RTO
+	// (1s, 2s, 4s).
+	if len(sent) != 4 {
+		t.Fatalf("SYN transmissions: %d (%v)", len(sent), sent)
+	}
+	gap1 := sent[1] - sent[0]
+	gap2 := sent[2] - sent[1]
+	gap3 := sent[3] - sent[2]
+	if gap2 < gap1*18/10 || gap3 < gap2*18/10 {
+		t.Fatalf("backoff not exponential: %d %d %d", gap1, gap2, gap3)
+	}
+}
+
+func TestWindowUpdateAfterRead(t *testing.T) {
+	n := newTestNet(t)
+	cl, sv := dial(t, n)
+	cl.MSS = 512
+	sv.RcvBuf.Limit = 1024
+	sv.sendAck()
+	n.eng.RunFor(10 * 1000)
+	cl.Write(bytes.Repeat([]byte{1}, 4096))
+	n.eng.RunFor(sim.Second)
+	if sv.RcvBuf.Len() != 1024 {
+		t.Fatalf("receiver buffered %d", sv.RcvBuf.Len())
+	}
+	// Reading must advertise the opened window so transfer resumes
+	// without waiting for the (5s) persist probe.
+	sv.Read(1024)
+	n.eng.RunFor(2 * sim.Second)
+	if sv.RcvBuf.Len() == 0 {
+		t.Fatal("window update did not restart the transfer")
+	}
+}
+
+func TestRetransmitAfterTotalLossWindow(t *testing.T) {
+	n := newTestNet(t)
+	cl, sv := dial(t, n)
+	// Drop everything for a while, then heal the network.
+	dropping := true
+	n.drop = func(b []byte) bool { return dropping }
+	cl.Write([]byte("persistent"))
+	n.eng.RunFor(3 * sim.Second)
+	if got, _ := sv.Readable(); got != 0 {
+		t.Fatal("data leaked through a dropped wire")
+	}
+	dropping = false
+	n.eng.RunFor(20 * sim.Second)
+	if got := sv.Read(100); string(got) != "persistent" {
+		t.Fatalf("data not retransmitted after healing: %q", got)
+	}
+	if cl.Stats.Retransmits == 0 {
+		t.Fatal("no retransmissions counted")
+	}
+}
+
+func TestCwndCollapsesOnRTO(t *testing.T) {
+	n := newTestNet(t)
+	cl, sv := dial(t, n)
+	cl.MSS = 1024
+	pump(t, n, cl, sv, 256*1024) // grow cwnd
+	grown := cl.cwnd
+	if grown <= 2*cl.MSS {
+		t.Fatalf("cwnd did not grow: %d", grown)
+	}
+	dropping := true
+	n.drop = func(b []byte) bool { return dropping }
+	cl.Write(bytes.Repeat([]byte{2}, 8192))
+	n.eng.RunFor(5 * sim.Second) // several RTOs
+	if cl.cwnd != cl.MSS {
+		t.Fatalf("cwnd after RTO = %d, want 1 MSS", cl.cwnd)
+	}
+	if cl.ssthresh >= grown {
+		t.Fatalf("ssthresh %d not reduced from %d", cl.ssthresh, grown)
+	}
+	dropping = false
+	n.eng.RunFor(20 * sim.Second)
+}
+
+func TestAcceptQueueOrder(t *testing.T) {
+	n := newTestNet(t)
+	l := n.newConn(hostB, 80, pkt.Addr{}, 0)
+	l.ListenOn(10)
+	for i := 0; i < 3; i++ {
+		c := n.newConn(hostA, uint16(6000+i), hostB, 80)
+		c.Connect()
+		n.eng.RunFor(5 * 1000)
+	}
+	if l.AcceptQueueLen() != 3 {
+		t.Fatalf("accept queue %d", l.AcceptQueueLen())
+	}
+	for i := 0; i < 3; i++ {
+		nc, ok := l.Accept()
+		if !ok || nc.RPort != uint16(6000+i) {
+			t.Fatalf("accept %d returned %v %v", i, ok, nc)
+		}
+	}
+}
+
+func TestDuplicateSynAckHarmless(t *testing.T) {
+	n := newTestNet(t)
+	cl, sv := dial(t, n)
+	// Replay a SYN|ACK at the established client: it must not disturb the
+	// connection (the client just re-states its ACK).
+	h := pkt.TCPHeader{
+		SrcPort: sv.LPort, DstPort: cl.LPort,
+		Seq: sv.iss, Ack: cl.iss + 1,
+		Flags: pkt.TCPSyn | pkt.TCPAck, Window: 8192,
+	}
+	cl.Input(hostB, &h, nil)
+	if cl.State != Established {
+		t.Fatalf("client state %v after duplicate SYN|ACK", cl.State)
+	}
+	cl.Write([]byte("still works"))
+	n.eng.RunFor(10 * 1000)
+	if got := sv.Read(100); string(got) != "still works" {
+		t.Fatalf("connection broken: %q", got)
+	}
+}
+
+func TestStrayAckToListenerIgnored(t *testing.T) {
+	n := newTestNet(t)
+	l := n.newConn(hostB, 80, pkt.Addr{}, 0)
+	l.ListenOn(5)
+	h := pkt.TCPHeader{SrcPort: 7000, DstPort: 80, Seq: 1, Ack: 999, Flags: pkt.TCPAck, Window: 100}
+	l.Input(hostA, &h, nil)
+	if l.State != Listen || l.synCount != 0 {
+		t.Fatalf("listener disturbed by stray ACK: %v %d", l.State, l.synCount)
+	}
+}
+
+func TestTimeWaitConnIgnoresLateData(t *testing.T) {
+	n := newTestNet(t)
+	cl, sv := dial(t, n)
+	cl.Close()
+	n.eng.RunFor(20 * 1000)
+	sv.Read(10)
+	sv.Close()
+	n.eng.RunFor(20 * 1000)
+	if cl.State != TimeWait {
+		t.Fatalf("client state %v", cl.State)
+	}
+	// A late (retransmitted) FIN arrives during TIME_WAIT: must be
+	// acknowledged without corrupting state.
+	h := pkt.TCPHeader{
+		SrcPort: sv.LPort, DstPort: cl.LPort,
+		Seq: sv.sndNxt - 1, Ack: cl.sndNxt,
+		Flags: pkt.TCPFin | pkt.TCPAck, Window: 100,
+	}
+	cl.Input(hostB, &h, nil)
+	if cl.State != TimeWait {
+		t.Fatalf("late FIN broke TIME_WAIT: %v", cl.State)
+	}
+	n.eng.RunFor(sim.Second)
+	if cl.State != Closed {
+		t.Fatalf("TIME_WAIT never expired: %v", cl.State)
+	}
+}
+
+func TestBacklogFullAccounting(t *testing.T) {
+	n := newTestNet(t)
+	l := n.newConn(hostB, 80, pkt.Addr{}, 0)
+	l.ListenOn(2)
+	if l.BacklogFull() {
+		t.Fatal("fresh listener reports full backlog")
+	}
+	for i := 0; i < 2; i++ {
+		c := n.newConn(hostA, uint16(6100+i), hostB, 80)
+		c.Connect()
+	}
+	n.eng.RunFor(10 * 1000)
+	if !l.BacklogFull() {
+		t.Fatalf("backlog should be full: accept queue %d, embryonic %d", l.AcceptQueueLen(), l.synCount)
+	}
+	l.Accept()
+	if l.BacklogFull() {
+		t.Fatal("accept did not free a backlog slot")
+	}
+}
+
+func TestReadableReportsEOFOnlyAfterDrain(t *testing.T) {
+	n := newTestNet(t)
+	cl, sv := dial(t, n)
+	cl.Write([]byte("tail"))
+	cl.Close()
+	n.eng.RunFor(20 * 1000)
+	rb, fin := sv.Readable()
+	if rb != 4 || !fin {
+		t.Fatalf("readable=%d fin=%v", rb, fin)
+	}
+	if got := sv.Read(10); string(got) != "tail" {
+		t.Fatalf("got %q", got)
+	}
+	rb, fin = sv.Readable()
+	if rb != 0 || !fin {
+		t.Fatalf("after drain: readable=%d fin=%v", rb, fin)
+	}
+}

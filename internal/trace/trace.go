@@ -1,0 +1,143 @@
+// Package trace provides a lightweight, bounded event log for the
+// simulation: kernels and hosts append timestamped events (dispatches,
+// interrupts, demux verdicts, queue drops) and tools dump them for
+// debugging. Tracing is off unless a Log is attached, and appending to a
+// nil Log is a no-op, so instrumented code paths cost nothing in normal
+// runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindDispatch Kind = iota // scheduler gave a process the CPU
+	KindIntr                 // hardware interrupt work ran
+	KindSoftIntr             // software interrupt work ran
+	KindDemux                // a packet was classified
+	KindDrop                 // a packet was dropped (detail says where)
+	KindDeliver              // a message reached a socket queue
+	KindProto                // protocol event (TCP state change etc.)
+	KindUser                 // application-defined
+)
+
+var kindNames = [...]string{
+	"dispatch", "intr", "softintr", "demux", "drop", "deliver", "proto", "user",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one log entry.
+type Event struct {
+	At     int64 // simulated µs
+	Kind   Kind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10dµs %-8s %s", e.At, e.Kind, e.Detail)
+}
+
+// Log is a bounded ring of events. The zero value is unusable; use New.
+// A nil *Log accepts (and discards) events, so callers never need to
+// check for enablement.
+type Log struct {
+	now     func() int64
+	events  []Event
+	next    int
+	wrapped bool
+	dropped uint64
+	filter  func(Kind) bool
+}
+
+// New creates a log holding up to capacity events (older events are
+// overwritten). now supplies timestamps — typically sim.Engine.Now.
+func New(capacity int, now func() int64) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{now: now, events: make([]Event, 0, capacity)}
+}
+
+// SetFilter restricts recording to kinds where keep returns true.
+func (l *Log) SetFilter(keep func(Kind) bool) {
+	if l != nil {
+		l.filter = keep
+	}
+}
+
+// Add records an event. Safe on a nil log.
+func (l *Log) Add(k Kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	if l.filter != nil && !l.filter(k) {
+		return
+	}
+	e := Event{At: l.now(), Kind: k, Detail: fmt.Sprintf(format, args...)}
+	if len(l.events) < cap(l.events) {
+		l.events = append(l.events, e)
+		return
+	}
+	// Ring: overwrite oldest.
+	l.events[l.next] = e
+	l.next = (l.next + 1) % cap(l.events)
+	l.wrapped = true
+	l.dropped++
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Overwritten returns how many events were lost to the ring bound.
+func (l *Log) Overwritten() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Events returns retained events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	if !l.wrapped {
+		return append([]Event(nil), l.events...)
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (l *Log) Dump() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events overwritten)\n", l.dropped)
+	}
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

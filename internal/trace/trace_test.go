@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func fakeClock() (func() int64, *int64) {
+	t := new(int64)
+	return func() int64 { *t += 10; return *t }, t
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(KindDrop, "ignored %d", 1)
+	if l.Len() != 0 || l.Overwritten() != 0 || l.Dump() != "" || l.Events() != nil {
+		t.Fatal("nil log misbehaved")
+	}
+	l.SetFilter(func(Kind) bool { return true })
+}
+
+func TestAppendAndDump(t *testing.T) {
+	clock, _ := fakeClock()
+	l := New(8, clock)
+	l.Add(KindDispatch, "proc %s", "worker")
+	l.Add(KindDrop, "channel full")
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	d := l.Dump()
+	for _, want := range []string{"dispatch", "proc worker", "drop", "channel full", "10µs", "20µs"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	clock, _ := fakeClock()
+	l := New(3, clock)
+	for i := 0; i < 7; i++ {
+		l.Add(KindUser, "e%d", i)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.Overwritten() != 4 {
+		t.Fatalf("overwritten = %d", l.Overwritten())
+	}
+	evs := l.Events()
+	// Chronological: e4, e5, e6.
+	want := []string{"e4", "e5", "e6"}
+	for i, e := range evs {
+		if e.Detail != want[i] {
+			t.Fatalf("events %v", evs)
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At <= evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	clock, _ := fakeClock()
+	l := New(8, clock)
+	l.SetFilter(func(k Kind) bool { return k == KindDrop })
+	l.Add(KindDispatch, "skipped")
+	l.Add(KindDrop, "kept")
+	if l.Len() != 1 || l.Events()[0].Detail != "kept" {
+		t.Fatalf("filter failed: %v", l.Events())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindDispatch; k <= KindUser; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind format")
+	}
+}
