@@ -1,0 +1,37 @@
+package lrp_test
+
+// Guards the checked-in full-run archive: results/lrpbench_full.json
+// must decode under the current schema and satisfy every paper-shape
+// assertion. Regenerate it with
+//
+//	go run ./cmd/lrpbench -out results/lrpbench_full.json all > results/lrpbench_full.txt
+//
+// whenever a change legitimately moves the numbers.
+
+import (
+	"os"
+	"testing"
+
+	"lrp/internal/results"
+)
+
+func TestFullRunArchive(t *testing.T) {
+	f, err := os.Open("results/lrpbench_full.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := results.Decode(f)
+	if err != nil {
+		t.Fatalf("archived suite no longer decodes: %v", err)
+	}
+	if s.Quick {
+		t.Error("archived suite was generated with -quick; regenerate at full length")
+	}
+	if len(s.Experiments) != len(results.SuiteExperiments) {
+		t.Errorf("archived suite has %d experiments, want %d", len(s.Experiments), len(results.SuiteExperiments))
+	}
+	for _, v := range results.CheckSuite(s) {
+		t.Errorf("archived full run violates a paper-shape assertion: %s", v)
+	}
+}

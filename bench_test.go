@@ -118,3 +118,20 @@ func BenchmarkMediaJitter(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSuite measures end-to-end wall clock for the whole quick
+// suite at a given worker-pool width — the speedup curve of the sweep
+// runner itself rather than any one paper result.
+func BenchmarkSuite(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := opts()
+				opt.Parallel = workers
+				if _, err := exp.RunSuite(opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

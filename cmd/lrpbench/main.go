@@ -1,32 +1,53 @@
 // Command lrpbench regenerates the tables and figures of the LRP paper
-// (Druschel & Banga, OSDI '96) from the simulated reproduction.
+// (Druschel & Banga, OSDI '96) from the simulated reproduction, and
+// checks the paper's qualitative shapes against a fresh run.
 //
 // Usage:
 //
-//	lrpbench [-quick] [-seed N] [-v] table1|fig3|mlfrr|fig4|table2|fig5|all
+//	lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] \
+//	         table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|all|check
 //
 // Each experiment prints the same rows or series the paper reports;
 // EXPERIMENTS.md records a side-by-side comparison with the published
-// numbers.
+// numbers. Sweep points run over a bounded worker pool (-parallel);
+// every point simulates in a private deterministic world, so output is
+// byte-identical at any parallelism.
+//
+// -json replaces the text tables on stdout with the versioned JSON
+// suite (internal/results schema); -out FILE additionally saves that
+// JSON suite to FILE, whatever stdout carries. The check verb runs all
+// eight experiments, evaluates every paper-shape assertion (ordering
+// of systems, BSD's livelock collapse, NI-LRP's flat overload curve,
+// fairness bands, traffic separation), and exits non-zero if any fail.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"lrp/internal/exp"
 	"lrp/internal/plot"
+	"lrp/internal/results"
 )
+
+var doPlot bool
 
 func main() {
 	quick := flag.Bool("quick", false, "shorter runs (smoke test)")
 	seed := flag.Uint64("seed", 1, "traffic generator seed")
 	verbose := flag.Bool("v", false, "print progress")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation worlds (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the JSON result suite on stdout instead of text tables")
+	outPath := flag.String("out", "", "also write the JSON result suite to FILE")
 	flag.BoolVar(&doPlot, "plot", false, "render ASCII charts for the figures")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|all\n")
+		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|all|check\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,51 +56,141 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := exp.Options{Quick: *quick, Seed: *seed}
+	opt := exp.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	if opt.Parallel <= 0 {
+		opt.Parallel = runtime.GOMAXPROCS(0)
+	}
 	if *verbose {
-		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		// Progress arrives from concurrent sweep workers; serialize it.
+		var mu sync.Mutex
+		opt.Progress = func(s string) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintln(os.Stderr, s)
+		}
 	}
 
 	which := strings.ToLower(flag.Arg(0))
-	run := map[string]func(exp.Options){
-		"table1":    table1,
-		"fig3":      fig3,
-		"mlfrr":     mlfrr,
-		"fig4":      fig4,
-		"table2":    table2,
-		"fig5":      fig5,
-		"ablations": ablations,
-		"media":     media,
+	var names []string
+	check := false
+	switch which {
+	case "all":
+		names = exp.Experiments
+	case "check":
+		names = exp.Experiments
+		check = true
+	default:
+		names = []string{which}
 	}
-	if which == "all" {
-		for _, name := range []string{"table1", "fig3", "mlfrr", "fig4", "table2", "fig5", "ablations", "media"} {
-			run[name](opt)
-			fmt.Println()
+
+	suite := results.NewSuite(opt.Seed, opt.Quick)
+	for _, name := range names {
+		e, err := exp.RunExperiment(name, opt)
+		if err != nil {
+			flag.Usage()
+			os.Exit(2)
 		}
-		return
+		suite.Add(e)
+		if !*jsonOut && !check {
+			printExperiment(os.Stdout, e)
+			if len(names) > 1 {
+				fmt.Println()
+			}
+		}
 	}
-	fn, ok := run[which]
-	if !ok {
-		flag.Usage()
-		os.Exit(2)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := suite.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
-	fn(opt)
+	if *jsonOut && !check {
+		if err := suite.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if check {
+		os.Exit(report(os.Stdout, suite, *jsonOut))
+	}
 }
 
-var doPlot bool
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lrpbench:", err)
+	os.Exit(1)
+}
 
-func table1(opt exp.Options) {
-	fmt.Println("Table 1: Throughput and Latency")
-	fmt.Println("(paper: RTT 1006/855/840/864 µs; UDP 64/82/92/86 Mbps; TCP 63/69/67/66 Mbps)")
-	fmt.Printf("%-22s %14s %16s %16s\n", "System", "RTT (µs)", "UDP (Mbit/s)", "TCP (Mbit/s)")
-	for _, r := range exp.Table1(opt) {
-		fmt.Printf("%-22s %12.0f %16.1f %16.1f\n", r.System, r.RTTMicros, r.UDPMbps, r.TCPMbps)
+// report prints the shape-check verdict and returns the exit code.
+func report(w io.Writer, suite *results.Suite, asJSON bool) int {
+	violations := results.CheckSuite(suite)
+	if violations == nil {
+		violations = []results.Violation{} // `"violations": []`, not null
+	}
+	if asJSON {
+		out := struct {
+			Schema     int                 `json:"schema"`
+			Pass       bool                `json:"pass"`
+			Violations []results.Violation `json:"violations"`
+		}{results.SchemaVersion, len(violations) == 0, violations}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, string(b))
+	} else {
+		for _, v := range violations {
+			fmt.Fprintln(w, "FAIL", v)
+		}
+		if len(violations) == 0 {
+			fmt.Fprintf(w, "ok: all paper-shape assertions hold across %d experiments\n", len(suite.Experiments))
+		} else {
+			fmt.Fprintf(w, "%d shape violation(s)\n", len(violations))
+		}
+	}
+	if len(violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printExperiment(w io.Writer, e results.Experiment) {
+	switch e.Name {
+	case "table1":
+		printTable1(w, e.Table1)
+	case "fig3":
+		printFig3(w, e.Fig3)
+	case "mlfrr":
+		printMLFRR(w, e.MLFRR)
+	case "fig4":
+		printFig4(w, e.Fig4)
+	case "table2":
+		printTable2(w, e.Table2)
+	case "fig5":
+		printFig5(w, e.Fig5)
+	case "ablations":
+		printAblations(w, e.Ablations)
+	case "media":
+		printMedia(w, e.Media)
 	}
 }
 
-func fig3(opt exp.Options) {
-	fmt.Println("Figure 3: Throughput versus offered load (14-byte UDP, pkts/s)")
-	series := exp.Fig3(opt)
+func printTable1(w io.Writer, rows []results.Table1Row) {
+	fmt.Fprintln(w, "Table 1: Throughput and Latency")
+	fmt.Fprintln(w, "(paper: RTT 1006/855/840/864 µs; UDP 64/82/92/86 Mbps; TCP 63/69/67/66 Mbps)")
+	fmt.Fprintf(w, "%-22s %14s %16s %16s\n", "System", "RTT (µs)", "UDP (Mbit/s)", "TCP (Mbit/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %12.0f %16.1f %16.1f\n", r.System, r.RTTMicros, r.UDPMbps, r.TCPMbps)
+	}
+}
+
+func printFig3(w io.Writer, series []results.Fig3Series) {
+	fmt.Fprintln(w, "Figure 3: Throughput versus offered load (14-byte UDP, pkts/s)")
 	if doPlot {
 		c := plot.Chart{Title: "Figure 3", XLabel: "offered rate (pkts/s)", YLabel: "delivered (pkts/s)", Width: 64, Height: 18}
 		for _, s := range series {
@@ -90,34 +201,32 @@ func fig3(opt exp.Options) {
 			}
 			c.Add(s.System, xs, ys)
 		}
-		fmt.Println(c.Render())
+		fmt.Fprintln(w, c.Render())
 	}
-	fmt.Printf("%-10s", "offered")
+	fmt.Fprintf(w, "%-10s", "offered")
 	for _, s := range series {
-		fmt.Printf(" %12s", s.System)
+		fmt.Fprintf(w, " %12s", s.System)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for i := range series[0].Points {
-		fmt.Printf("%-10d", series[0].Points[i].Offered)
+		fmt.Fprintf(w, "%-10d", series[0].Points[i].Offered)
 		for _, s := range series {
-			fmt.Printf(" %12.0f", s.Points[i].Delivered)
+			fmt.Fprintf(w, " %12.0f", s.Points[i].Delivered)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func mlfrr(opt exp.Options) {
-	fmt.Println("Maximum Loss-Free Receive Rate (paper: SOFT-LRP 9210 vs BSD 6380, +44%)")
-	fmt.Printf("%-14s %10s %12s\n", "System", "MLFRR", "Peak (pkt/s)")
-	rows := exp.MLFRR(opt)
+func printMLFRR(w io.Writer, rows []results.MLFRRRow) {
+	fmt.Fprintln(w, "Maximum Loss-Free Receive Rate (paper: SOFT-LRP 9210 vs BSD 6380, +44%)")
+	fmt.Fprintf(w, "%-14s %10s %12s\n", "System", "MLFRR", "Peak (pkt/s)")
 	for _, r := range rows {
-		fmt.Printf("%-14s %10d %12.0f\n", r.System, r.MLFRR, r.Peak)
+		fmt.Fprintf(w, "%-14s %10d %12.0f\n", r.System, r.MLFRR, r.Peak)
 	}
 }
 
-func fig4(opt exp.Options) {
-	fmt.Println("Figure 4: Latency with concurrent load (µs round trip; * = probes lost)")
-	series := exp.Fig4(opt)
+func printFig4(w io.Writer, series []results.Fig4Series) {
+	fmt.Fprintln(w, "Figure 4: Latency with concurrent load (µs round trip; * = probes lost)")
 	if doPlot {
 		c := plot.Chart{Title: "Figure 4", XLabel: "background rate (pkts/s)", YLabel: "round trip (µs)", Width: 64, Height: 18}
 		for _, s := range series {
@@ -130,40 +239,39 @@ func fig4(opt exp.Options) {
 			}
 			c.Add(s.System, xs, ys)
 		}
-		fmt.Println(c.Render())
+		fmt.Fprintln(w, c.Render())
 	}
-	fmt.Printf("%-10s", "bg pkt/s")
+	fmt.Fprintf(w, "%-10s", "bg pkt/s")
 	for _, s := range series {
-		fmt.Printf(" %12s", s.System)
+		fmt.Fprintf(w, " %12s", s.System)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for i := range series[0].Points {
-		fmt.Printf("%-10d", series[0].Points[i].BgRate)
+		fmt.Fprintf(w, "%-10d", series[0].Points[i].BgRate)
 		for _, s := range series {
 			mark := ""
 			if s.Points[i].Lost > 0 {
 				mark = "*"
 			}
-			fmt.Printf(" %11.0f%1s", s.Points[i].RTTMicros, mark)
+			fmt.Fprintf(w, " %11.0f%1s", s.Points[i].RTTMicros, mark)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func table2(opt exp.Options) {
-	fmt.Println("Table 2: Synthetic RPC Server Workload")
-	fmt.Println("(paper Fast: elapsed 49.7/34.6/38.7 s; shares 23-26% BSD vs 29-33% LRP)")
-	fmt.Printf("%-8s %-12s %16s %14s %14s\n", "RPC", "System", "Worker (s)", "RPCs/s", "Worker share")
-	for _, r := range exp.Table2(opt) {
-		fmt.Printf("%-8s %-12s %16.1f %14.0f %13.1f%%\n",
+func printTable2(w io.Writer, rows []results.Table2Row) {
+	fmt.Fprintln(w, "Table 2: Synthetic RPC Server Workload")
+	fmt.Fprintln(w, "(paper Fast: elapsed 49.7/34.6/38.7 s; shares 23-26% BSD vs 29-33% LRP)")
+	fmt.Fprintf(w, "%-8s %-12s %16s %14s %14s\n", "RPC", "System", "Worker (s)", "RPCs/s", "Worker share")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-12s %16.1f %14.0f %13.1f%%\n",
 			r.Workload, r.System, r.WorkerElapsed, r.ServerRPCRate, r.WorkerShare*100)
 	}
 }
 
-func fig5(opt exp.Options) {
-	fmt.Println("Figure 5: HTTP Server Throughput under SYN flood (transfers/s)")
-	fmt.Println("(paper: BSD livelocks near 10k SYN/s; LRP keeps ~50% at 20k)")
-	series := exp.Fig5(opt)
+func printFig5(w io.Writer, series []results.Fig5Series) {
+	fmt.Fprintln(w, "Figure 5: HTTP Server Throughput under SYN flood (transfers/s)")
+	fmt.Fprintln(w, "(paper: BSD livelocks near 10k SYN/s; LRP keeps ~50% at 20k)")
 	if doPlot {
 		c := plot.Chart{Title: "Figure 5", XLabel: "SYN rate (pkts/s)", YLabel: "HTTP transfers/s", Width: 64, Height: 18}
 		for _, s := range series {
@@ -174,34 +282,34 @@ func fig5(opt exp.Options) {
 			}
 			c.Add(s.System, xs, ys)
 		}
-		fmt.Println(c.Render())
+		fmt.Fprintln(w, c.Render())
 	}
-	fmt.Printf("%-10s", "SYN/s")
+	fmt.Fprintf(w, "%-10s", "SYN/s")
 	for _, s := range series {
-		fmt.Printf(" %12s", s.System)
+		fmt.Fprintf(w, " %12s", s.System)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for i := range series[0].Points {
-		fmt.Printf("%-10d", series[0].Points[i].SYNRate)
+		fmt.Fprintf(w, "%-10d", series[0].Points[i].SYNRate)
 		for _, s := range series {
-			fmt.Printf(" %12.1f", s.Points[i].HTTPPerSec)
+			fmt.Fprintf(w, " %12.1f", s.Points[i].HTTPPerSec)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func ablations(opt exp.Options) {
-	fmt.Println("Ablations: isolating LRP's individual design choices")
-	fmt.Printf("%-16s %-20s %-22s %10s\n", "experiment", "variant", "metric", "value")
-	for _, r := range exp.Ablations(opt) {
-		fmt.Printf("%-16s %-20s %-22s %10.1f\n", r.Experiment, r.Variant, r.Metric, r.Value)
+func printAblations(w io.Writer, rows []results.AblationRow) {
+	fmt.Fprintln(w, "Ablations: isolating LRP's individual design choices")
+	fmt.Fprintf(w, "%-16s %-20s %-22s %10s\n", "experiment", "variant", "metric", "value")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-20s %-22s %10.1f\n", r.Experiment, r.Variant, r.Metric, r.Value)
 	}
 }
 
-func media(opt exp.Options) {
-	fmt.Println("Media stream (30 fps) delivery jitter vs background blast")
-	fmt.Printf("%-12s %10s %14s %12s\n", "System", "bg pkt/s", "mean jitter µs", "p99 µs")
-	for _, r := range exp.MediaJitter(opt) {
-		fmt.Printf("%-12s %10d %14.0f %12d\n", r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs)
+func printMedia(w io.Writer, rows []results.MediaRow) {
+	fmt.Fprintln(w, "Media stream (30 fps) delivery jitter vs background blast")
+	fmt.Fprintf(w, "%-12s %10s %14s %12s\n", "System", "bg pkt/s", "mean jitter µs", "p99 µs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10d %14.0f %12d\n", r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs)
 	}
 }

@@ -13,16 +13,13 @@ import (
 	"lrp/internal/kernel"
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
+	"lrp/internal/results"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
 // AblationRow is one measurement of an ablation experiment.
-type AblationRow struct {
-	Experiment string
-	Variant    string
-	Metric     string
-	Value      float64
-}
+type AblationRow = results.AblationRow
 
 // Ablations runs the suite and returns all rows.
 func Ablations(opt Options) []AblationRow {
@@ -54,11 +51,11 @@ func CorruptFlood(opt Options) []AblationRow {
 	if opt.Quick {
 		dur = sim.Second
 	}
-	var rows []AblationRow
-	for _, sys := range []System{
+	systems := []System{
 		{Name: "Early-Demux", Arch: core.ArchEarlyDemux, Costs: core.DefaultCosts},
 		{Name: "SOFT-LRP", Arch: core.ArchSoftLRP, Costs: core.DefaultCosts},
-	} {
+	}
+	return runner.Map(opt.pool(), systems, func(_ int, sys System) AblationRow {
 		r := newRig(sys, 2)
 		server := r.hosts[1]
 		victim := server.K.Spawn("victim", 0, func(p *kernel.Proc) {
@@ -87,16 +84,15 @@ func CorruptFlood(opt Options) []AblationRow {
 		r.eng.At(0, pump)
 		r.eng.RunFor(dur)
 		share := float64(victim.UTime) / float64(dur)
-		rows = append(rows, AblationRow{
+		opt.progress(fmt.Sprintf("ablation corrupt-flood %s: victim share %.2f", sys.Name, share))
+		r.shutdown()
+		return AblationRow{
 			Experiment: "corrupt-flood",
 			Variant:    sys.Name,
 			Metric:     "victim_cpu_share",
 			Value:      share,
-		})
-		opt.progress(fmt.Sprintf("ablation corrupt-flood %s: victim share %.2f", sys.Name, share))
-		r.shutdown()
-	}
-	return rows
+		}
+	})
 }
 
 // IdleThreadLatency isolates §3.3's idle-time protocol processing: a
@@ -149,8 +145,10 @@ func IdleThreadLatency(opt Options) []AblationRow {
 		}
 		return float64(sum) / float64(n)
 	}
-	with := run(false)
-	without := run(true)
+	vals := runner.Map(opt.pool(), []bool{false, true}, func(_ int, noIdle bool) float64 {
+		return run(noIdle)
+	})
+	with, without := vals[0], vals[1]
 	opt.progress(fmt.Sprintf("ablation idle-thread: recv call %.0fµs with, %.0fµs without", with, without))
 	return []AblationRow{
 		{Experiment: "idle-thread", Variant: "enabled", Metric: "recv_call_µs", Value: with},
@@ -201,8 +199,13 @@ func EarlyDiscardContribution(opt Options) []AblationRow {
 		r.eng.RunFor(sim.Second + sim.Time(iters)*25*sim.Millisecond)
 		return server.Pool.Stats().HighWater, ppc.Lost
 	}
-	hwBounded, lostBounded := run(false)
-	hwUnbounded, lostUnbounded := run(true)
+	type edResult struct{ hw, lost int }
+	vals := runner.Map(opt.pool(), []bool{false, true}, func(_ int, unbounded bool) edResult {
+		hw, lost := run(unbounded)
+		return edResult{hw, lost}
+	})
+	hwBounded, lostBounded := vals[0].hw, vals[0].lost
+	hwUnbounded, lostUnbounded := vals[1].hw, vals[1].lost
 	opt.progress(fmt.Sprintf("ablation early-discard: bounded %d mbufs / %d probes lost, unbounded %d mbufs / %d probes lost",
 		hwBounded, lostBounded, hwUnbounded, lostUnbounded))
 	return []AblationRow{
@@ -257,10 +260,15 @@ func FilterDemuxAblation(opt Options) []AblationRow {
 		eng.RunFor(dur)
 		return sink.Received.Rate(eng.Now())
 	}
+	decoyCounts := []int{0, 16, 48}
+	// Cell order matches the serial loop: (decoys, hand), (decoys, interp).
+	cells := runner.Cross(decoyCounts, []bool{false, true})
+	vals := runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[int, bool]) float64 {
+		return run(c.B, c.A)
+	})
 	var rows []AblationRow
-	for _, decoys := range []int{0, 16, 48} {
-		hand := run(false, decoys)
-		filt := run(true, decoys)
+	for i, decoys := range decoyCounts {
+		hand, filt := vals[2*i], vals[2*i+1]
 		rows = append(rows,
 			AblationRow{Experiment: "filter-demux", Variant: fmt.Sprintf("hand-coded/%d-sockets", decoys+1), Metric: "delivered_pps", Value: hand},
 			AblationRow{Experiment: "filter-demux", Variant: fmt.Sprintf("interpreted/%d-sockets", decoys+1), Metric: "delivered_pps", Value: filt},

@@ -1,0 +1,108 @@
+package exp
+
+// Regression tests for the properties the sweep runner depends on:
+// identical seeds reproduce byte-identical results, parallel execution
+// is indistinguishable from serial, and the Progress plumbing delivers
+// callbacks (concurrently when Parallel > 1).
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// marshal renders series to the exact bytes the JSON suite would carry,
+// so "byte-identical" means what `lrpbench -json` means by it.
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFig3Determinism(t *testing.T) {
+	serial := Options{Quick: true, Seed: 42}
+	a := marshal(t, Fig3(serial))
+	b := marshal(t, Fig3(serial))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, serial runs diverged:\n%s\n%s", a, b)
+	}
+	par := marshal(t, Fig3(Options{Quick: true, Seed: 42, Parallel: 4}))
+	if !bytes.Equal(a, par) {
+		t.Fatalf("parallel run diverged from serial:\n%s\n%s", a, par)
+	}
+}
+
+func TestParallelMatchesSerialAcrossDrivers(t *testing.T) {
+	// The cheaper drivers, as a cross-check that every porting seam
+	// (Map, Cross, Sweep assembly) preserves row order and values.
+	serial := Options{Quick: true, Seed: 3}
+	parallel := Options{Quick: true, Seed: 3, Parallel: 8}
+	if a, b := marshal(t, CorruptFlood(serial)), marshal(t, CorruptFlood(parallel)); !bytes.Equal(a, b) {
+		t.Errorf("CorruptFlood diverged:\n%s\n%s", a, b)
+	}
+	if a, b := marshal(t, IdleThreadLatency(serial)), marshal(t, IdleThreadLatency(parallel)); !bytes.Equal(a, b) {
+		t.Errorf("IdleThreadLatency diverged:\n%s\n%s", a, b)
+	}
+	if a, b := marshal(t, MediaJitter(serial)), marshal(t, MediaJitter(parallel)); !bytes.Equal(a, b) {
+		t.Errorf("MediaJitter diverged:\n%s\n%s", a, b)
+	}
+}
+
+// progressRecorder is a concurrency-safe Progress sink.
+type progressRecorder struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (p *progressRecorder) cb(s string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lines = append(p.lines, s)
+}
+
+func (p *progressRecorder) count(prefix string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, l := range p.lines {
+		if strings.HasPrefix(l, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestProgressCallbacksSerial(t *testing.T) {
+	rec := &progressRecorder{}
+	rows := CorruptFlood(Options{Quick: true, Seed: 1, Progress: rec.cb})
+	if got := rec.count("ablation corrupt-flood"); got != len(rows) {
+		t.Errorf("want one progress line per row (%d), got %d: %q", len(rows), got, rec.lines)
+	}
+	rec = &progressRecorder{}
+	IdleThreadLatency(Options{Quick: true, Seed: 1, Progress: rec.cb})
+	if got := rec.count("ablation idle-thread"); got != 1 {
+		t.Errorf("want 1 idle-thread summary line, got %d: %q", got, rec.lines)
+	}
+}
+
+func TestProgressCallbacksParallel(t *testing.T) {
+	rec := &progressRecorder{}
+	rows := MediaJitter(Options{Quick: true, Seed: 1, Parallel: 4, Progress: rec.cb})
+	if got := rec.count("media:"); got != len(rows) {
+		t.Errorf("want %d media progress lines, got %d: %q", len(rows), got, rec.lines)
+	}
+}
+
+func TestProgressNilIsSafe(t *testing.T) {
+	// Options with no Progress must run without touching a nil func.
+	opt := Options{Quick: true, Seed: 1, Parallel: 2}
+	opt.progress("dropped on the floor")
+	if rows := IdleThreadLatency(opt); len(rows) != 2 {
+		t.Fatalf("unexpected rows %v", rows)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"lrp/internal/core"
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
@@ -22,14 +23,21 @@ var (
 	AddrC = pkt.IP(10, 0, 0, 3)
 )
 
-// Options tunes experiment durations.
+// Options tunes experiment durations and execution.
 type Options struct {
 	// Quick shrinks durations/iterations for tests and smoke benchmarks.
 	Quick bool
 	// Seed perturbs traffic generators.
 	Seed uint64
-	// Verbose callbacks (optional): called with progress lines.
+	// Verbose callbacks (optional): called with progress lines. When
+	// Parallel > 1 the callback may be invoked from multiple goroutines
+	// concurrently and must be safe for that.
 	Progress func(string)
+	// Parallel caps how many simulation worlds a driver runs at once;
+	// 0 and 1 both mean serial. Every sweep point builds a private
+	// engine and results are assembled in declaration order, so the
+	// value changes wall-clock time only — never any result.
+	Parallel int
 }
 
 func (o Options) progress(s string) {
@@ -37,6 +45,9 @@ func (o Options) progress(s string) {
 		o.Progress(s)
 	}
 }
+
+// pool returns the worker pool the drivers sweep over.
+func (o Options) pool() *runner.Pool { return runner.NewPool(o.Parallel) }
 
 // System identifies a benchmarked kernel configuration: an architecture
 // plus a cost model (Table 1 additionally measures the vendor SunOS/Fore

@@ -4,20 +4,17 @@ import (
 	"fmt"
 
 	"lrp/internal/app"
+	"lrp/internal/results"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
-// Fig3Point is one point of Figure 3: "Throughput versus offered load".
-type Fig3Point struct {
-	Offered   int64   // client transmission rate, pkts/s
-	Delivered float64 // rate received and consumed by the server process
-}
+// Fig3Point is one point of Figure 3: "Throughput versus offered load"
+// (offered client rate vs rate consumed by the server process).
+type Fig3Point = results.Fig3Point
 
 // Fig3Series is one system's curve.
-type Fig3Series struct {
-	System string
-	Points []Fig3Point
-}
+type Fig3Series = results.Fig3Series
 
 // fig3Rates returns the offered-load sweep (14-byte UDP packets).
 func fig3Rates(quick bool) []int64 {
@@ -36,15 +33,20 @@ func fig3Rates(quick bool) []int64 {
 // rate. The server process receives the packets and discards them
 // immediately."
 func Fig3(opt Options) []Fig3Series {
-	var out []Fig3Series
-	for _, sys := range OverloadSystems() {
-		s := Fig3Series{System: sys.Name}
-		for _, rate := range fig3Rates(opt.Quick) {
+	spec := runner.Spec[System, int64, Fig3Point]{
+		Name:    "fig3",
+		Systems: OverloadSystems(),
+		Axis:    fig3Rates(opt.Quick),
+		Run: func(sys System, rate int64) Fig3Point {
 			d, _ := fig3Run(sys, rate, opt)
-			s.Points = append(s.Points, Fig3Point{Offered: rate, Delivered: d})
 			opt.progress(fmt.Sprintf("fig3: %s offered=%d delivered=%.0f", sys.Name, rate, d))
-		}
-		out = append(out, s)
+			return Fig3Point{Offered: rate, Delivered: d}
+		},
+	}
+	grid := runner.Sweep(opt.pool(), spec)
+	out := make([]Fig3Series, len(grid))
+	for i, pts := range grid {
+		out[i] = Fig3Series{System: spec.Systems[i].Name, Points: pts}
 	}
 	return out
 }
@@ -100,14 +102,12 @@ func totalDrops(r *rig) uint64 {
 
 // MLFRRRow reports the Maximum Loss-Free Receive Rate for one system
 // ("the MLFRR of SOFT-LRP exceeded that of 4.4BSD by 44%").
-type MLFRRRow struct {
-	System string
-	MLFRR  int64 // pkts/s
-	Peak   float64
-}
+type MLFRRRow = results.MLFRRRow
 
 // MLFRR scans offered rates to find each system's highest loss-free rate
-// and its peak delivered throughput.
+// and its peak delivered throughput. Each system's scan is inherently
+// serial (the early-exit depends on the points seen so far), so the
+// pool parallelizes across systems only.
 func MLFRR(opt Options) []MLFRRRow {
 	step := int64(250)
 	if opt.Quick {
@@ -119,8 +119,7 @@ func MLFRR(opt Options) []MLFRRRow {
 		// The paper's MLFRR comparison is between 4.4BSD and SOFT-LRP.
 		systems = []System{systems[0], systems[2]}
 	}
-	var rows []MLFRRRow
-	for _, sys := range systems {
+	return runner.Map(opt.pool(), systems, func(_ int, sys System) MLFRRRow {
 		row := MLFRRRow{System: sys.Name}
 		lossFree := int64(0)
 		for rate := int64(2000); rate <= 20000; rate += step {
@@ -139,8 +138,7 @@ func MLFRR(opt Options) []MLFRRRow {
 			}
 		}
 		row.MLFRR = lossFree
-		rows = append(rows, row)
 		opt.progress(fmt.Sprintf("mlfrr: %s = %d (peak %.0f)", sys.Name, row.MLFRR, row.Peak))
-	}
-	return rows
+		return row
+	})
 }

@@ -4,21 +4,17 @@ import (
 	"fmt"
 
 	"lrp/internal/app"
+	"lrp/internal/results"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
-// Fig4Point is one point of Figure 4: "Latency with concurrent load".
-type Fig4Point struct {
-	BgRate    int64   // background blast rate toward the blast server, pkts/s
-	RTTMicros float64 // ping-pong round-trip latency
-	Lost      int     // latency probes that went unanswered
-}
+// Fig4Point is one point of Figure 4: "Latency with concurrent load"
+// (ping-pong RTT and lost probes vs background blast rate).
+type Fig4Point = results.Fig4Point
 
 // Fig4Series is one system's curve.
-type Fig4Series struct {
-	System string
-	Points []Fig4Point
-}
+type Fig4Series = results.Fig4Series
 
 func fig4Rates(quick bool) []int64 {
 	if quick {
@@ -35,15 +31,20 @@ func fig4Rates(quick bool) []int64 {
 // process (blast server) on machine B." Low-priority spinners keep the
 // CPUs out of the idle loop, per the paper's methodology.
 func Fig4(opt Options) []Fig4Series {
-	var out []Fig4Series
-	for _, sys := range LatencySystems() {
-		s := Fig4Series{System: sys.Name}
-		for _, rate := range fig4Rates(opt.Quick) {
+	spec := runner.Spec[System, int64, Fig4Point]{
+		Name:    "fig4",
+		Systems: LatencySystems(),
+		Axis:    fig4Rates(opt.Quick),
+		Run: func(sys System, rate int64) Fig4Point {
 			rtt, lost := fig4Run(sys, rate, opt)
-			s.Points = append(s.Points, Fig4Point{BgRate: rate, RTTMicros: rtt, Lost: lost})
 			opt.progress(fmt.Sprintf("fig4: %s bg=%d rtt=%.0f lost=%d", sys.Name, rate, rtt, lost))
-		}
-		out = append(out, s)
+			return Fig4Point{BgRate: rate, RTTMicros: rtt, Lost: lost}
+		},
+	}
+	grid := runner.Sweep(opt.pool(), spec)
+	out := make([]Fig4Series, len(grid))
+	for i, pts := range grid {
+		out[i] = Fig4Series{System: spec.Systems[i].Name, Points: pts}
 	}
 	return out
 }

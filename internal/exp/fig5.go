@@ -5,21 +5,17 @@ import (
 
 	"lrp/internal/app"
 	"lrp/internal/core"
+	"lrp/internal/results"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
 // Fig5Point is one point of Figure 5: "HTTP Server Throughput" under a
-// SYN flood.
-type Fig5Point struct {
-	SYNRate    int64   // background SYNs per second to the dummy server
-	HTTPPerSec float64 // completed HTTP transfers per second
-}
+// SYN flood (completed HTTP transfers/s vs background SYN rate).
+type Fig5Point = results.Fig5Point
 
 // Fig5Series is one system's curve.
-type Fig5Series struct {
-	System string
-	Points []Fig5Point
-}
+type Fig5Series = results.Fig5Series
 
 func fig5Rates(quick bool) []int64 {
 	if quick {
@@ -42,15 +38,20 @@ func fig5Systems() []System {
 // machine sends fake TCP connection establishment requests (SYN packets)
 // to a dummy server running on the server machine."
 func Fig5(opt Options) []Fig5Series {
-	var out []Fig5Series
-	for _, sys := range fig5Systems() {
-		s := Fig5Series{System: sys.Name}
-		for _, rate := range fig5Rates(opt.Quick) {
+	spec := runner.Spec[System, int64, Fig5Point]{
+		Name:    "fig5",
+		Systems: fig5Systems(),
+		Axis:    fig5Rates(opt.Quick),
+		Run: func(sys System, rate int64) Fig5Point {
 			tput := fig5Run(sys, rate, opt)
-			s.Points = append(s.Points, Fig5Point{SYNRate: rate, HTTPPerSec: tput})
 			opt.progress(fmt.Sprintf("fig5: %s syn=%d http/s=%.1f", sys.Name, rate, tput))
-		}
-		out = append(out, s)
+			return Fig5Point{SYNRate: rate, HTTPPerSec: tput}
+		},
+	}
+	grid := runner.Sweep(opt.pool(), spec)
+	out := make([]Fig5Series, len(grid))
+	for i, pts := range grid {
+		out[i] = Fig5Series{System: spec.Systems[i].Name, Points: pts}
 	}
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"lrp/internal/app"
+	"lrp/internal/results"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
@@ -12,27 +14,18 @@ import (
 // motivation ("the delivery of an incoming message to the receiving
 // application can be delayed by a burst of subsequently arriving
 // packets"), turned into a measurement.
-type MediaRow struct {
-	System       string
-	BgRate       int64
-	MeanJitterUs float64
-	P99JitterUs  int64
-	FramesLost   int64
-}
+type MediaRow = results.MediaRow
 
 // MediaJitter measures frame-delivery jitter with and without a 6k pkts/s
 // background blast at another socket on the same host.
 func MediaJitter(opt Options) []MediaRow {
-	var rows []MediaRow
-	for _, sys := range LatencySystems() {
-		for _, bg := range []int64{0, 6000} {
-			rows = append(rows, mediaRun(sys, bg, opt))
-			r := rows[len(rows)-1]
-			opt.progress(fmt.Sprintf("media: %s bg=%d mean=%.0fµs p99=%dµs",
-				r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs))
-		}
-	}
-	return rows
+	cells := runner.Cross(LatencySystems(), []int64{0, 6000})
+	return runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[System, int64]) MediaRow {
+		r := mediaRun(c.A, c.B, opt)
+		opt.progress(fmt.Sprintf("media: %s bg=%d mean=%.0fµs p99=%dµs",
+			r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs))
+		return r
+	})
 }
 
 func mediaRun(sys System, bgRate int64, opt Options) MediaRow {

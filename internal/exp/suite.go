@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+
+	"lrp/internal/results"
+)
+
+// Experiments lists the eight experiment names in canonical suite
+// order — the order `lrpbench all` runs and reports them.
+var Experiments = []string{
+	"table1", "fig3", "mlfrr", "fig4", "table2", "fig5", "ablations", "media",
+}
+
+// RunExperiment runs one named experiment and returns its typed
+// payload. Unknown names are an error, not a panic, so the CLI can
+// reject bad verbs cleanly.
+func RunExperiment(name string, opt Options) (results.Experiment, error) {
+	e := results.Experiment{Name: name}
+	switch name {
+	case "table1":
+		e.Table1 = Table1(opt)
+	case "fig3":
+		e.Fig3 = Fig3(opt)
+	case "mlfrr":
+		e.MLFRR = MLFRR(opt)
+	case "fig4":
+		e.Fig4 = Fig4(opt)
+	case "table2":
+		e.Table2 = Table2(opt)
+	case "fig5":
+		e.Fig5 = Fig5(opt)
+	case "ablations":
+		e.Ablations = Ablations(opt)
+	case "media":
+		e.Media = MediaJitter(opt)
+	default:
+		return results.Experiment{}, fmt.Errorf("exp: unknown experiment %q", name)
+	}
+	return e, nil
+}
+
+// RunSuite runs the named experiments (all eight when names is empty)
+// into a fresh suite. Experiments run one after another in the given
+// order; parallelism lives inside each driver's sweep, so suite output
+// is deterministic for a given seed regardless of Options.Parallel.
+func RunSuite(opt Options, names ...string) (*results.Suite, error) {
+	if len(names) == 0 {
+		names = Experiments
+	}
+	s := results.NewSuite(opt.Seed, opt.Quick)
+	for _, name := range names {
+		e, err := RunExperiment(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(e)
+	}
+	return s, nil
+}

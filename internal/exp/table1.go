@@ -4,15 +4,25 @@ import (
 	"fmt"
 
 	"lrp/internal/app"
+	"lrp/internal/results"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
-// Table1Row reproduces one row of Table 1: "Throughput and Latency".
-type Table1Row struct {
-	System    string
-	RTTMicros float64 // 1-byte UDP ping-pong round trip
-	UDPMbps   float64 // sliding-window UDP throughput, 8 KB datagrams
-	TCPMbps   float64 // 24 MB transfer, 32 KB socket buffers
+// Table1Row reproduces one row of Table 1: "Throughput and Latency"
+// (1-byte UDP ping-pong RTT; sliding-window UDP throughput with 8 KB
+// datagrams; 24 MB TCP transfer with 32 KB socket buffers).
+type Table1Row = results.Table1Row
+
+// table1Metrics are Table 1's three measurements; each runs in its own
+// world, so a parallel sweep spreads systems × metrics across workers.
+var table1Metrics = []struct {
+	Name string
+	Fn   func(System, Options) float64
+}{
+	{"rtt", table1Latency},
+	{"udp", table1UDP},
+	{"tcp", table1TCP},
 }
 
 // Table1 measures round-trip latency, UDP throughput and TCP throughput
@@ -20,15 +30,21 @@ type Table1Row struct {
 // architecture is competitive with traditional network subsystem
 // implementations in terms of these basic performance criteria."
 func Table1(opt Options) []Table1Row {
-	var rows []Table1Row
-	for _, sys := range Table1Systems() {
-		opt.progress("table1: " + sys.Name)
-		rows = append(rows, Table1Row{
+	systems := Table1Systems()
+	cells := runner.Cross(systems, []int{0, 1, 2})
+	vals := runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[System, int]) float64 {
+		m := table1Metrics[c.B]
+		opt.progress("table1: " + c.A.Name + " " + m.Name)
+		return m.Fn(c.A, opt)
+	})
+	rows := make([]Table1Row, len(systems))
+	for i, sys := range systems {
+		rows[i] = Table1Row{
 			System:    sys.Name,
-			RTTMicros: table1Latency(sys, opt),
-			UDPMbps:   table1UDP(sys, opt),
-			TCPMbps:   table1TCP(sys, opt),
-		})
+			RTTMicros: vals[i*3+0],
+			UDPMbps:   vals[i*3+1],
+			TCPMbps:   vals[i*3+2],
+		}
 	}
 	return rows
 }

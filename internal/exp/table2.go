@@ -4,18 +4,15 @@ import (
 	"fmt"
 
 	"lrp/internal/app"
+	"lrp/internal/results"
+	"lrp/internal/runner"
 	"lrp/internal/sim"
 )
 
 // Table2Row reproduces one cell-group of Table 2: "Synthetic RPC Server
-// Workload".
-type Table2Row struct {
-	Workload      string // Fast / Medium / Slow
-	System        string
-	WorkerElapsed float64 // seconds to complete the worker RPC
-	ServerRPCRate float64 // combined RPCs/s of the two RPC servers
-	WorkerShare   float64 // worker CPU time / elapsed (ideal 1/3)
-}
+// Workload" (worker completion time, combined RPC rate of the two RPC
+// servers, and the worker's CPU share — ideal 1/3).
+type Table2Row = results.Table2Row
 
 // table2Workloads maps the paper's Fast/Medium/Slow to per-request compute
 // (µs) and per-client request spacing, calibrated so the combined RPC rate
@@ -23,11 +20,13 @@ type Table2Row struct {
 // below saturation ("the clients generate requests at the maximal
 // throughput rate of the server... the server is not operating under
 // conditions of overload").
-var table2Workloads = []struct {
+type table2Workload struct {
 	Name     string
 	PerCall  int64
 	Interval int64 // per-client send spacing, µs
-}{
+}
+
+var table2Workloads = []table2Workload{
 	{"Fast", 120, 950},
 	{"Medium", 220, 1300},
 	{"Slow", 420, 1950},
@@ -37,16 +36,14 @@ var table2Workloads = []struct {
 // plus two RPC servers kept saturated by a client, measuring worker
 // completion time, aggregate RPC rate, and the worker's CPU share.
 func Table2(opt Options) []Table2Row {
-	var rows []Table2Row
-	for _, wl := range table2Workloads {
-		for _, sys := range LatencySystems() { // BSD, NI-LRP, SOFT-LRP
-			row := table2Run(sys, wl.Name, wl.PerCall, wl.Interval, opt)
-			rows = append(rows, row)
-			opt.progress(fmt.Sprintf("table2: %s/%s elapsed=%.1fs rate=%.0f share=%.2f",
-				wl.Name, sys.Name, row.WorkerElapsed, row.ServerRPCRate, row.WorkerShare))
-		}
-	}
-	return rows
+	// BSD, NI-LRP, SOFT-LRP per workload; workload-major row order.
+	cells := runner.Cross(table2Workloads, LatencySystems())
+	return runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[table2Workload, System]) Table2Row {
+		row := table2Run(c.B, c.A.Name, c.A.PerCall, c.A.Interval, opt)
+		opt.progress(fmt.Sprintf("table2: %s/%s elapsed=%.1fs rate=%.0f share=%.2f",
+			c.A.Name, c.B.Name, row.WorkerElapsed, row.ServerRPCRate, row.WorkerShare))
+		return row
+	})
 }
 
 func table2Run(sys System, workload string, perCall, interval int64, opt Options) Table2Row {

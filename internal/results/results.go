@@ -1,0 +1,213 @@
+// Package results defines the typed result records the experiment
+// drivers produce, a versioned JSON container for whole benchmark runs,
+// and a shape-assertion library (checks.go) that encodes the paper's
+// qualitative claims — who wins, where systems collapse, fairness
+// bands — as machine-checkable predicates.
+//
+// The row types here are the single source of truth: internal/exp
+// aliases them for live runs, and the same structs decode saved JSON,
+// so a regression checker can treat a fresh sweep and an archived run
+// identically.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion is bumped whenever a row type or the Suite container
+// changes incompatibly; Decode refuses files from other versions.
+const SchemaVersion = 1
+
+// Table1Row is one row of Table 1: "Throughput and Latency".
+type Table1Row struct {
+	System    string  `json:"system"`
+	RTTMicros float64 `json:"rtt_us"`   // 1-byte UDP ping-pong round trip
+	UDPMbps   float64 `json:"udp_mbps"` // sliding-window UDP throughput
+	TCPMbps   float64 `json:"tcp_mbps"` // 24 MB transfer, 32 KB buffers
+}
+
+// Fig3Point is one point of Figure 3: "Throughput versus offered load".
+type Fig3Point struct {
+	Offered   int64   `json:"offered"`   // client transmission rate, pkts/s
+	Delivered float64 `json:"delivered"` // rate consumed by the server process
+}
+
+// Fig3Series is one system's Figure 3 curve.
+type Fig3Series struct {
+	System string      `json:"system"`
+	Points []Fig3Point `json:"points"`
+}
+
+// MLFRRRow reports one system's Maximum Loss-Free Receive Rate.
+type MLFRRRow struct {
+	System string  `json:"system"`
+	MLFRR  int64   `json:"mlfrr"` // pkts/s
+	Peak   float64 `json:"peak"`
+}
+
+// Fig4Point is one point of Figure 4: "Latency with concurrent load".
+type Fig4Point struct {
+	BgRate    int64   `json:"bg_rate"` // background blast rate, pkts/s
+	RTTMicros float64 `json:"rtt_us"`  // ping-pong round-trip latency
+	Lost      int     `json:"lost"`    // latency probes that went unanswered
+}
+
+// Fig4Series is one system's Figure 4 curve.
+type Fig4Series struct {
+	System string      `json:"system"`
+	Points []Fig4Point `json:"points"`
+}
+
+// Table2Row is one cell-group of Table 2: "Synthetic RPC Server
+// Workload".
+type Table2Row struct {
+	Workload      string  `json:"workload"` // Fast / Medium / Slow
+	System        string  `json:"system"`
+	WorkerElapsed float64 `json:"worker_elapsed_s"`
+	ServerRPCRate float64 `json:"server_rpc_rate"`
+	WorkerShare   float64 `json:"worker_share"` // worker CPU / elapsed, ideal 1/3
+}
+
+// Fig5Point is one point of Figure 5: "HTTP Server Throughput" under a
+// SYN flood.
+type Fig5Point struct {
+	SYNRate    int64   `json:"syn_rate"`
+	HTTPPerSec float64 `json:"http_per_sec"`
+}
+
+// Fig5Series is one system's Figure 5 curve.
+type Fig5Series struct {
+	System string      `json:"system"`
+	Points []Fig5Point `json:"points"`
+}
+
+// AblationRow is one measurement of an ablation experiment.
+type AblationRow struct {
+	Experiment string  `json:"experiment"`
+	Variant    string  `json:"variant"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+}
+
+// MediaRow reports delivery jitter for the 30 fps media stream under
+// background blast (the paper's §2.2 multimedia motivation).
+type MediaRow struct {
+	System       string  `json:"system"`
+	BgRate       int64   `json:"bg_rate"`
+	MeanJitterUs float64 `json:"mean_jitter_us"`
+	P99JitterUs  int64   `json:"p99_jitter_us"`
+	FramesLost   int64   `json:"frames_lost"`
+}
+
+// Experiment is one named experiment's typed payload. Exactly one data
+// field is populated, matching Name.
+type Experiment struct {
+	Name      string        `json:"name"`
+	Table1    []Table1Row   `json:"table1,omitempty"`
+	Fig3      []Fig3Series  `json:"fig3,omitempty"`
+	MLFRR     []MLFRRRow    `json:"mlfrr,omitempty"`
+	Fig4      []Fig4Series  `json:"fig4,omitempty"`
+	Table2    []Table2Row   `json:"table2,omitempty"`
+	Fig5      []Fig5Series  `json:"fig5,omitempty"`
+	Ablations []AblationRow `json:"ablations,omitempty"`
+	Media     []MediaRow    `json:"media,omitempty"`
+}
+
+// Suite is a whole lrpbench run: run parameters plus every experiment's
+// rows, in canonical order. Suites contain no timestamps or host
+// details, so two runs with the same seed and flags encode to identical
+// bytes regardless of parallelism.
+type Suite struct {
+	Schema      int          `json:"schema"`
+	Tool        string       `json:"tool"`
+	Seed        uint64       `json:"seed"`
+	Quick       bool         `json:"quick"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// NewSuite returns an empty suite stamped with the current schema.
+func NewSuite(seed uint64, quick bool) *Suite {
+	return &Suite{Schema: SchemaVersion, Tool: "lrpbench", Seed: seed, Quick: quick}
+}
+
+// Add appends one experiment's payload.
+func (s *Suite) Add(e Experiment) { s.Experiments = append(s.Experiments, e) }
+
+// Find returns the named experiment's payload, or nil.
+func (s *Suite) Find(name string) *Experiment {
+	for i := range s.Experiments {
+		if s.Experiments[i].Name == name {
+			return &s.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// payload returns whether e carries any rows under its declared name.
+func (e *Experiment) payload() bool {
+	switch e.Name {
+	case "table1":
+		return len(e.Table1) > 0
+	case "fig3":
+		return len(e.Fig3) > 0
+	case "mlfrr":
+		return len(e.MLFRR) > 0
+	case "fig4":
+		return len(e.Fig4) > 0
+	case "table2":
+		return len(e.Table2) > 0
+	case "fig5":
+		return len(e.Fig5) > 0
+	case "ablations":
+		return len(e.Ablations) > 0
+	case "media":
+		return len(e.Media) > 0
+	}
+	return false
+}
+
+// Validate checks structural integrity: schema version, tool tag, and
+// that every experiment entry is a known name carrying rows under that
+// name.
+func (s *Suite) Validate() error {
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("results: schema %d, this tool reads %d", s.Schema, SchemaVersion)
+	}
+	if s.Tool != "lrpbench" {
+		return fmt.Errorf("results: unknown tool %q", s.Tool)
+	}
+	for i := range s.Experiments {
+		e := &s.Experiments[i]
+		if !e.payload() {
+			return fmt.Errorf("results: experiment %d (%q) carries no rows under its name", i, e.Name)
+		}
+	}
+	return nil
+}
+
+// Encode writes the suite as indented JSON with a trailing newline.
+// The encoding is deterministic: struct-field order, no timestamps.
+func (s *Suite) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode reads and validates a suite produced by Encode.
+func Decode(r io.Reader) (*Suite, error) {
+	var s Suite
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("results: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
