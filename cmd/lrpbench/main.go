@@ -5,6 +5,7 @@
 // Usage:
 //
 //	lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] \
+//	         [-cpuprofile FILE] [-memprofile FILE] \
 //	         table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|all|check
 //
 // Each experiment prints the same rows or series the paper reports;
@@ -28,6 +29,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -39,21 +41,53 @@ import (
 var doPlot bool
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "shorter runs (smoke test)")
 	seed := flag.Uint64("seed", 1, "traffic generator seed")
 	verbose := flag.Bool("v", false, "print progress")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation worlds (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the JSON result suite on stdout instead of text tables")
 	outPath := flag.String("out", "", "also write the JSON result suite to FILE")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+	memProfile := flag.String("memprofile", "", "write a heap profile to FILE when the run completes")
 	flag.BoolVar(&doPlot, "plot", false, "render ASCII charts for the figures")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|all|check\n")
+		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|all|check\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	opt := exp.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
@@ -88,7 +122,7 @@ func main() {
 		e, err := exp.RunExperiment(name, opt)
 		if err != nil {
 			flag.Usage()
-			os.Exit(2)
+			return 2
 		}
 		suite.Add(e)
 		if !*jsonOut && !check {
@@ -117,8 +151,9 @@ func main() {
 		}
 	}
 	if check {
-		os.Exit(report(os.Stdout, suite, *jsonOut))
+		return report(os.Stdout, suite, *jsonOut)
 	}
+	return 0
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@ package app
 import (
 	"lrp/internal/core"
 	"lrp/internal/kernel"
+	"lrp/internal/mbuf"
 	"lrp/internal/metrics"
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
@@ -39,6 +40,7 @@ type BlastSource struct {
 	Sent    metrics.Counter
 	stopped bool
 	ipid    uint16
+	pool    *mbuf.Pool
 }
 
 // Start begins injection; call Stop to end it.
@@ -49,6 +51,7 @@ func (b *BlastSource) Start() {
 	if b.Jitter == 0 {
 		b.Jitter = 0.3
 	}
+	b.pool = mbuf.NewPool(genPoolLimit)
 	b.schedule()
 }
 
@@ -74,7 +77,7 @@ func (b *BlastSource) schedule() {
 		}
 		b.ipid++
 		b.Sent.Inc()
-		b.Net.Inject(pkt.UDPPacket(b.Src, b.Dst, b.SPort, b.DPort, b.ipid, 64, make([]byte, b.Size), true))
+		injectUDP(b.Net, b.pool, b.Src, b.Dst, b.SPort, b.DPort, b.ipid, b.Size)
 		b.schedule()
 	})
 }

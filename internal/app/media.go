@@ -3,6 +3,7 @@ package app
 import (
 	"lrp/internal/core"
 	"lrp/internal/kernel"
+	"lrp/internal/mbuf"
 	"lrp/internal/metrics"
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
@@ -30,6 +31,7 @@ type MediaSource struct {
 	Sent    metrics.Counter
 	stopped bool
 	ipid    uint16
+	pool    *mbuf.Pool
 }
 
 // Start begins the stream.
@@ -40,6 +42,7 @@ func (m *MediaSource) Start() {
 	if m.Interval == 0 {
 		m.Interval = 33_333
 	}
+	m.pool = mbuf.NewPool(genPoolLimit)
 	m.schedule()
 }
 
@@ -56,7 +59,7 @@ func (m *MediaSource) schedule() {
 		}
 		m.ipid++
 		m.Sent.Inc()
-		m.Net.Inject(pkt.UDPPacket(m.Src, m.Dst, m.SPort, m.DPort, m.ipid, 64, make([]byte, m.FrameSize), true))
+		injectUDP(m.Net, m.pool, m.Src, m.Dst, m.SPort, m.DPort, m.ipid, m.FrameSize)
 		m.schedule()
 	})
 }

@@ -3,6 +3,7 @@ package app
 import (
 	"lrp/internal/core"
 	"lrp/internal/kernel"
+	"lrp/internal/mbuf"
 	"lrp/internal/metrics"
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
@@ -29,6 +30,7 @@ type SYNFlood struct {
 	sport   uint16
 	seq     uint32
 	ipid    uint16
+	pool    *mbuf.Pool
 }
 
 // Start begins the flood; Stop halts it.
@@ -42,6 +44,7 @@ func (f *SYNFlood) Start() {
 	if f.sport == 0 {
 		f.sport = 1024
 	}
+	f.pool = mbuf.NewPool(genPoolLimit)
 	f.schedule()
 }
 
@@ -75,7 +78,12 @@ func (f *SYNFlood) schedule() {
 			MSS:     1460,
 		}
 		f.Sent.Inc()
-		f.Net.Inject(pkt.TCPSegment(f.Src, f.Dst, &h, f.ipid, 64, nil))
+		if m := f.pool.AllocBuf(pkt.TCPTotalLen(&h, 0)); m != nil {
+			m.Data = pkt.AppendTCP(m.Data, f.Src, f.Dst, &h, f.ipid, 64, nil)
+			f.Net.InjectMbuf(m)
+		} else {
+			f.Net.Inject(pkt.TCPSegment(f.Src, f.Dst, &h, f.ipid, 64, nil))
+		}
 		f.schedule()
 	})
 }

@@ -82,16 +82,14 @@ func (h *Host) startICMPDaemon() {
 			}
 			p.ComputeSys(h.channelDequeueCost() + h.lrpProtoInCost(m.Data))
 			b := m.Data
-			m.Free()
+			m.BeginTransfer() // echo replies are built in fresh buffers
 			whole, done := h.reasm.Input(b, h.Eng.Now())
-			if !done {
-				continue
+			if done {
+				if ih, hlen, err := pkt.DecodeIPv4(whole); err == nil {
+					h.icmpProcess(&ih, whole[hlen:int(ih.TotalLen)])
+				}
 			}
-			ih, hlen, err := pkt.DecodeIPv4(whole)
-			if err != nil {
-				continue
-			}
-			h.icmpProcess(&ih, whole[hlen:int(ih.TotalLen)])
+			m.EndTransfer()
 		}
 	})
 	s.Owner = proc

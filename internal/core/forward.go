@@ -55,8 +55,9 @@ func (h *Host) EnableForwarding(nice int) {
 			}
 			p.ComputeSys(h.channelDequeueCost() + h.CM.IPInCost + h.CM.IPOutCost)
 			b := m.Data
-			m.Free()
+			m.BeginTransfer() // forwardPacket rebuilds into its own buffer
 			h.forwardPacket(b)
+			m.EndTransfer()
 		}
 	})
 	s.Owner = proc

@@ -87,6 +87,10 @@ type Host struct {
 	iss       uint32
 	ipid      uint16
 
+	// txScratch is reused for building outgoing UDP packets; ipOutput
+	// copies into pool-owned storage before the next send overwrites it.
+	txScratch []byte
+
 	mcast       map[mcastKey]*mcastGroup
 	mcastBySock map[*socket.Socket]*mcastGroup
 	mcastMember map[*socket.Socket]*mcastGroup
@@ -118,7 +122,7 @@ type Host struct {
 // so a timer that fires but whose processing is still queued (e.g. behind
 // the APP thread) can be invalidated by a later disarm.
 type connTimers struct {
-	ev  [tcp.NumTimers]*sim.Event
+	ev  [tcp.NumTimers]sim.Event
 	gen [tcp.NumTimers]uint64
 }
 

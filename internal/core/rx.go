@@ -240,8 +240,9 @@ func (h *Host) deliverForeign(m *mbuf.Mbuf) {
 	}
 	h.K.PostSW(kernel.WorkItem{Cost: cost, Fn: func() {
 		b := m.Data
-		m.Free()
+		m.BeginTransfer() // release the slot first, as the old free-then-read did
 		h.forwardPacket(b)
+		m.EndTransfer()
 	}})
 }
 
@@ -266,17 +267,25 @@ func isSYN(b []byte) bool {
 // sockHint, when non-nil, identifies the destination (early demux did the
 // lookup); otherwise a PCB lookup resolves it. The CPU cost was accounted
 // by the caller's context.
+//
+// The mbuf's pool slot is released up front (protocol input can itself
+// allocate — ACKs, echo replies — and must see the same pool occupancy as
+// before buffer recycling); the storage is recycled at the end, once
+// nothing references the raw bytes. Only delivered UDP payload outlives
+// this function, and that path detaches the storage first.
 func (h *Host) protoInput(m *mbuf.Mbuf, sockHint *socket.Socket) {
 	b := m.Data
 	arrival := m.Arrival
-	m.Free()
+	m.BeginTransfer()
 	whole, done := h.reasm.Input(b, h.Eng.Now())
 	if !done {
+		m.EndTransfer() // fragment payload was copied by the reassembler
 		return
 	}
 	ih, hlen, err := pkt.DecodeIPv4(whole)
 	if err != nil {
 		h.stats.MalformedDrops++
+		m.EndTransfer()
 		return
 	}
 	if ih.Dst != h.Addr && !ih.Dst.IsMulticast() {
@@ -287,19 +296,33 @@ func (h *Host) protoInput(m *mbuf.Mbuf, sockHint *socket.Socket) {
 		} else {
 			h.stats.NoMatchDrops++
 		}
+		m.EndTransfer() // forwardPacket rebuilt the packet in its own buffer
 		return
 	}
 	seg := whole[hlen:int(ih.TotalLen)]
 	switch ih.Proto {
 	case pkt.ProtoUDP:
+		// Delivered datagrams alias the packet bytes for as long as the
+		// application holds them: surrender the storage when it is ours.
+		if aliases(whole, b) {
+			m.Detach()
+		}
 		h.udpInput(&ih, seg, arrival, sockHint)
 	case pkt.ProtoTCP:
-		h.tcpInput(&ih, seg, sockHint)
+		h.tcpInput(&ih, seg, sockHint) // TCP copies what it retains
 	case pkt.ProtoICMP:
-		h.icmpInput(&ih, seg)
+		h.icmpInput(&ih, seg) // replies are built in fresh buffers
 	default:
 		h.stats.NoMatchDrops++
 	}
+	m.EndTransfer()
+}
+
+// aliases reports whether x is backed by the same bytes as the original
+// packet b — i.e. whether the reassembler passed the packet through rather
+// than assembling a fresh buffer.
+func aliases(x, b []byte) bool {
+	return len(x) > 0 && len(b) > 0 && &x[0] == &b[0]
 }
 
 // udpInput validates a UDP datagram and appends it to the destination

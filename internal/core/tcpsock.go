@@ -12,6 +12,7 @@ import (
 	"lrp/internal/kernel"
 	"lrp/internal/mbuf"
 	"lrp/internal/pkt"
+	"lrp/internal/sim"
 	"lrp/internal/socket"
 	"lrp/internal/tcp"
 )
@@ -45,13 +46,11 @@ func (h *Host) armConnTimer(c *tcp.Conn, t tcp.Timer, delay int64) {
 		ct = &connTimers{}
 		h.timers[c] = ct
 	}
-	if ct.ev[t] != nil {
-		h.Eng.Cancel(ct.ev[t])
-	}
+	h.Eng.Cancel(ct.ev[t])
 	ct.gen[t]++
 	gen := ct.gen[t]
 	ct.ev[t] = h.Eng.After(delay, func() {
-		ct.ev[t] = nil
+		ct.ev[t] = sim.Event{}
 		h.dispatchTimer(c, t, gen)
 	})
 }
@@ -62,10 +61,8 @@ func (h *Host) disarmConnTimer(c *tcp.Conn, t tcp.Timer) {
 		return
 	}
 	ct.gen[t]++ // invalidate any queued expiry
-	if ct.ev[t] != nil {
-		h.Eng.Cancel(ct.ev[t])
-		ct.ev[t] = nil
-	}
+	h.Eng.Cancel(ct.ev[t])
+	ct.ev[t] = sim.Event{}
 }
 
 // dispatchTimer routes a fired timer into protocol-processing context.
@@ -292,17 +289,19 @@ func appOwner(s *socket.Socket) *kernel.Proc {
 func (h *Host) appProtoInput(p *kernel.Proc, m *mbuf.Mbuf, hint *socket.Socket) {
 	b := m.Data
 	arrival := m.Arrival
-	m.Free()
+	m.BeginTransfer() // release the slot before input, keep storage until done
 	whole, done := h.reasm.Input(b, h.Eng.Now())
 	if !done {
 		whole, done = h.drainFragChannelFor(p, appOwner(hint), b)
 		if !done {
+			m.EndTransfer()
 			return
 		}
 	}
 	ih, hlen, err := pkt.DecodeIPv4(whole)
 	if err != nil {
 		h.stats.MalformedDrops++
+		m.EndTransfer()
 		return
 	}
 	seg := whole[hlen:int(ih.TotalLen)]
@@ -314,10 +313,15 @@ func (h *Host) appProtoInput(p *kernel.Proc, m *mbuf.Mbuf, hint *socket.Socket) 
 			p.ComputeSysFor(appOwner(hint), h.CM.PCBLookupCost)
 			hint = nil
 		}
-		h.tcpInput(&ih, seg, hint)
+		h.tcpInput(&ih, seg, hint) // TCP copies what it retains
 	case pkt.ProtoUDP:
+		// Delivered datagrams alias the packet bytes; surrender our storage.
+		if aliases(whole, b) {
+			m.Detach()
+		}
 		h.udpInput(&ih, seg, arrival, hint)
 	default:
 		h.stats.NoMatchDrops++
 	}
+	m.EndTransfer()
 }

@@ -89,8 +89,10 @@ func (h *Host) SendTo(p *kernel.Proc, s *socket.Socket, dst pkt.Addr, dport uint
 		cost += h.CM.ChecksumCost(len(data))
 	}
 	p.ComputeSys(cost)
-	b := pkt.UDPPacket(h.Addr, dst, s.LPort, dport, h.nextIPID(), 64, data, !s.NoUDPChecksum)
-	return h.ipOutput(p, s, b)
+	// Build into the host's scratch buffer; ipOutput copies each fragment
+	// into pool-owned storage, so the scratch is free for the next send.
+	h.txScratch = pkt.AppendUDP(h.txScratch[:0], h.Addr, dst, s.LPort, dport, h.nextIPID(), 64, data, !s.NoUDPChecksum)
+	return h.ipOutput(p, s, h.txScratch)
 }
 
 // Send transmits on a connected datagram socket.
@@ -115,7 +117,9 @@ func (h *Host) ipOutput(p *kernel.Proc, s *socket.Socket, b []byte) error {
 		}
 	}
 	for _, f := range frags {
-		m := h.Pool.Alloc(f)
+		// Copy into pool-owned storage: senders build b in scratch buffers
+		// they reuse for the next packet, so the mbuf must not alias it.
+		m := h.Pool.AllocCopy(f)
 		if m == nil {
 			if s != nil {
 				s.Stats.ProtoDrops++
@@ -227,27 +231,37 @@ func (h *Host) udpLazyInput(p, owner *kernel.Proc, s *socket.Socket, m *mbuf.Mbu
 	p.ComputeSysFor(owner, h.channelDequeueCost()+h.lrpProtoInCost(m.Data))
 	b := m.Data
 	arrival := m.Arrival
-	m.Free()
+	// Release the pool slot before protocol processing (matching the old
+	// free-then-read accounting) but keep the storage until the raw bytes
+	// are no longer needed — or detach it if they escape into the datagram.
+	m.BeginTransfer()
 	whole, done := h.reasm.Input(b, h.Eng.Now())
 	if !done {
 		whole, done = h.drainFragChannelFor(p, owner, b)
 		if !done {
+			m.EndTransfer()
 			return socket.Datagram{}, false
 		}
 	}
 	ih, hlen, err := pkt.DecodeIPv4(whole)
 	if err != nil || ih.Proto != pkt.ProtoUDP {
 		s.Stats.ProtoDrops++
+		m.EndTransfer()
 		return socket.Datagram{}, false
 	}
 	seg := whole[hlen:int(ih.TotalLen)]
 	uh, err := pkt.DecodeUDP(seg, ih.Src, ih.Dst)
 	if err != nil {
 		s.Stats.ProtoDrops++
+		m.EndTransfer()
 		return socket.Datagram{}, false
 	}
 	s.Stats.RxDelivered++
 	s.Stats.RxBytes += uint64(int(uh.Length) - pkt.UDPHeaderLen)
+	if aliases(whole, b) {
+		m.Detach()
+	}
+	m.EndTransfer()
 	return socket.Datagram{
 		Data:    seg[pkt.UDPHeaderLen:int(uh.Length)],
 		Src:     ih.Src,
@@ -277,9 +291,13 @@ func (h *Host) drainFragChannelFor(p, owner *kernel.Proc, trigger []byte) ([]byt
 		if p != nil {
 			p.ComputeSysFor(owner, h.CM.IPInCost)
 		}
+		// Fragments are copied by the reassembler; the assembled datagram
+		// never aliases this mbuf, so its storage recycles immediately.
 		fb := fm.Data
-		fm.Free()
-		if whole, done := h.reasm.Input(fb, h.Eng.Now()); done {
+		fm.BeginTransfer()
+		whole, done := h.reasm.Input(fb, h.Eng.Now())
+		fm.EndTransfer()
+		if done {
 			return whole, true
 		}
 	}

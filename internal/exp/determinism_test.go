@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"lrp/internal/results"
 )
 
 // marshal renders series to the exact bytes the JSON suite would carry,
@@ -50,6 +52,37 @@ func TestParallelMatchesSerialAcrossDrivers(t *testing.T) {
 	}
 	if a, b := marshal(t, MediaJitter(serial)), marshal(t, MediaJitter(parallel)); !bytes.Equal(a, b) {
 		t.Errorf("MediaJitter diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestSuiteRerunIdentical runs the whole quick suite twice in one
+// process and requires byte-identical JSON. The second run executes with
+// every recycling mechanism warm from the first (the engines' event free
+// lists, the mbuf pools' struct and buffer free lists), so any leak of
+// recycled state into fresh worlds — a stale event firing, a dirty
+// buffer — shows up as a diff here.
+func TestSuiteRerunIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite twice; skipped in -short")
+	}
+	run := func() []byte {
+		suite := results.NewSuite(1, true)
+		for _, name := range Experiments {
+			e, err := RunExperiment(name, Options{Quick: true, Seed: 1, Parallel: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			suite.Add(e)
+		}
+		var buf bytes.Buffer
+		if err := suite.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("quick suite diverged between first and second in-process run (%d vs %d bytes)", len(a), len(b))
 	}
 }
 

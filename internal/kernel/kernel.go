@@ -125,7 +125,7 @@ type Kernel struct {
 	cur        band
 	curItem    *WorkItem // head item when cur is bandHW/bandSW
 	curRunProc *Proc     // process owning the burst when cur is bandProc
-	burstEv    *sim.Event
+	burstEv    sim.Event
 	burstStart sim.Time
 	idleStart  sim.Time
 
@@ -248,18 +248,18 @@ func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
 // does not leak them. The kernel is unusable afterwards.
 func (k *Kernel) Shutdown() {
 	k.shutdown = true
-	if k.burstEv != nil {
+	if !k.burstEv.IsZero() {
 		k.Eng.Cancel(k.burstEv)
-		k.burstEv = nil
+		k.burstEv = sim.Event{}
 	}
 	for _, p := range k.procs {
 		if p.state == stateDead {
 			continue
 		}
 		p.killed = true
-		if p.timeoutEv != nil {
+		if !p.timeoutEv.IsZero() {
 			k.Eng.Cancel(p.timeoutEv)
-			p.timeoutEv = nil
+			p.timeoutEv = sim.Event{}
 		}
 		p.state = stateDead
 		p.resume <- struct{}{}
@@ -365,12 +365,12 @@ func (k *Kernel) closeBurst() {
 		}
 		return
 	}
-	if k.burstEv == nil {
+	if k.burstEv.IsZero() {
 		return
 	}
 	elapsed := now - k.burstStart
 	k.Eng.Cancel(k.burstEv)
-	k.burstEv = nil
+	k.burstEv = sim.Event{}
 	switch k.cur {
 	case bandHW, bandSW:
 		it := k.curItem
@@ -532,7 +532,7 @@ func (k *Kernel) runProcStep(p *Proc) {
 		p.timedOut = false
 		if r.timeout > 0 {
 			p.timeoutEv = k.Eng.After(r.timeout, func() {
-				p.timeoutEv = nil
+				p.timeoutEv = sim.Event{}
 				if p.state == stateSleeping {
 					p.timedOut = true
 					p.wakeup()

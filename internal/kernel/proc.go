@@ -97,7 +97,7 @@ type Proc struct {
 	seq       uint64
 	wq        *WaitQ
 	timedOut  bool
-	timeoutEv *sim.Event
+	timeoutEv sim.Event
 
 	pendingWork   int64
 	pendingSys    bool
@@ -272,9 +272,9 @@ func (p *Proc) wakeup() {
 		p.wq.remove(p)
 		p.wq = nil
 	}
-	if p.timeoutEv != nil {
+	if !p.timeoutEv.IsZero() {
 		p.K.Eng.Cancel(p.timeoutEv)
-		p.timeoutEv = nil
+		p.timeoutEv = sim.Event{}
 	}
 	p.state = stateRunnable
 	p.recomputePrio()

@@ -1,0 +1,55 @@
+package mbuf
+
+import "testing"
+
+// TestPoolCycleZeroAllocs pins the steady-state buffer cycle at zero
+// allocations per operation: after warm-up, Alloc/AllocCopy/AllocBuf all
+// draw structs and arrays from the pool's free lists and Free returns
+// them.
+func TestPoolCycleZeroAllocs(t *testing.T) {
+	p := NewPool(0)
+	data := make([]byte, 42)
+	// Warm up every path so the struct and buffer free lists are primed.
+	p.Alloc(data).Free()
+	p.AllocCopy(data).Free()
+	p.AllocBuf(64).Free()
+	if n := testing.AllocsPerRun(100, func() {
+		sink = p.Alloc(data)
+		sink.Free()
+	}); n != 0 {
+		t.Errorf("Alloc+Free allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sink = p.AllocCopy(data)
+		sink.Free()
+	}); n != 0 {
+		t.Errorf("AllocCopy+Free allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sink = p.AllocBuf(64)
+		sink.Free()
+	}); n != 0 {
+		t.Errorf("AllocBuf+Free allocates %v per op, want 0", n)
+	}
+}
+
+// TestFreeRecyclesBackingArray is the regression test for Free discarding
+// its buffer: two sequential AllocCopy/Free cycles must hand back the
+// same backing array, not a fresh one each time.
+func TestFreeRecyclesBackingArray(t *testing.T) {
+	p := NewPool(0)
+	data := make([]byte, 42)
+	m1 := p.AllocCopy(data)
+	first := &m1.Data[0]
+	m1.Free()
+	m2 := p.AllocCopy(data)
+	if &m2.Data[0] != first {
+		t.Fatalf("second AllocCopy got a fresh backing array; want the one recycled by Free")
+	}
+	m2.Free()
+	m3 := p.AllocCopy(data)
+	if &m3.Data[0] != first {
+		t.Fatalf("third AllocCopy got a fresh backing array; want the recycled one")
+	}
+	m3.Free()
+}

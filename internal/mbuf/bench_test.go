@@ -1,0 +1,34 @@
+package mbuf
+
+import "testing"
+
+// sink forces mbufs to escape to the heap, as they do in production where
+// every allocation passes through a queue.
+var sink *Mbuf
+
+// BenchmarkMbufAllocFree measures the per-packet buffer cycle: one
+// allocation aliasing wire bytes, one free.
+func BenchmarkMbufAllocFree(b *testing.B) {
+	p := NewPool(0)
+	data := make([]byte, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = p.Alloc(data)
+		sink.Free()
+	}
+}
+
+// BenchmarkMbufQueueChurn measures a bounded queue's steady-state
+// enqueue/dequeue cycle (every rx ring, ifq and NI channel operation).
+func BenchmarkMbufQueueChurn(b *testing.B) {
+	p := NewPool(0)
+	q := NewQueue(64)
+	data := make([]byte, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p.Alloc(data))
+		q.Dequeue().Free()
+	}
+}

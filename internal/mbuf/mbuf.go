@@ -7,9 +7,35 @@
 // exact accounting so experiments can report whether drops happened for
 // lack of mbufs (the paper's instrumentation reported none at their rates;
 // ours can check the same).
+//
+// Both mbuf structs and their byte storage are recycled through per-pool
+// free lists, so the steady-state packet cycle (alloc, enqueue, deliver,
+// free) performs no heap allocation. Storage recycling distinguishes owned
+// buffers (drawn from the pool's size-classed free lists by AllocBuf and
+// AllocCopy) from aliased ones (Alloc wraps caller memory the pool must
+// never hand out again). Recycling never changes the accounting: the
+// counters (limit, in-use, high-water, failures) move at exactly the same
+// points as when Free simply discarded the buffer.
 package mbuf
 
 import "fmt"
+
+// bufClasses are the recycled storage sizes, chosen to cover the common
+// packet populations: small control packets, ordinary datagrams, and
+// full-MTU packets (the IP-over-ATM MTU of 9180 plus headers fits the top
+// class). Larger requests fall back to plain make and are not recycled.
+var bufClasses = [...]int{256, 2048, 16384}
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// if n exceeds every class.
+func classFor(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
 
 // Mbuf holds one packet (this simulator does not split packets across
 // chained buffers; a chain field would add fidelity but no behaviour the
@@ -22,7 +48,18 @@ type Mbuf struct {
 	// used to measure queueing delay. Zero when not applicable.
 	Arrival int64
 
+	// pool is non-nil while the mbuf is counted against its pool's limit;
+	// Free and BeginTransfer clear it when they release the accounting.
 	pool *Pool
+	// owner is the recycling home for the struct and any owned storage. It
+	// stays set through a wire transfer, after pool has been released.
+	owner *Pool
+	// buf is the owned backing array (full capacity), nil when Data aliases
+	// caller memory. Only owned arrays return to the free lists.
+	buf []byte
+	// refs counts extra wire references beyond the first (multicast fanout);
+	// EndTransfer recycles storage only when it reaches zero.
+	refs int32
 }
 
 // Len returns the packet length in bytes.
@@ -31,17 +68,66 @@ func (m *Mbuf) Len() int { return len(m.Data) }
 // Free returns the buffer to its pool. Freeing a nil mbuf or one not drawn
 // from a pool is a no-op. Double frees panic: they indicate a logic error
 // in queue handling.
+//
+// Free recycles the struct and any owned storage, so the caller must not
+// touch the mbuf — or any Data slice it did not Detach — afterwards.
 func (m *Mbuf) Free() {
 	if m == nil || m.pool == nil {
 		return
 	}
 	p := m.pool
 	m.pool = nil
-	m.Data = nil
 	p.inUse--
 	if p.inUse < 0 {
 		panic("mbuf: double free")
 	}
+	m.owner.recycle(m)
+}
+
+// Detach surrenders the packet bytes to the caller: it returns Data and
+// disowns the backing array so a later Free recycles only the struct. Use
+// it when delivered data outlives the mbuf (e.g. bytes handed to an
+// application datagram).
+func (m *Mbuf) Detach() []byte {
+	b := m.Data
+	m.buf = nil
+	return b
+}
+
+// BeginTransfer releases the mbuf's pool accounting — exactly as Free does,
+// including the double-free check — while keeping the struct and storage
+// alive for wire transit. The sender's pool slot is released when
+// transmission starts (as in the pre-recycling code, which freed the mbuf
+// and kept a reference to its bytes); the storage itself is recycled by
+// EndTransfer once the last receiver has copied the packet.
+func (m *Mbuf) BeginTransfer() {
+	if m == nil || m.pool == nil {
+		return
+	}
+	p := m.pool
+	m.pool = nil
+	p.inUse--
+	if p.inUse < 0 {
+		panic("mbuf: double free")
+	}
+}
+
+// AddRef adds one wire reference, for fanout paths that deliver the same
+// mbuf to several receivers. Each reference must be released with
+// EndTransfer.
+func (m *Mbuf) AddRef() { m.refs++ }
+
+// EndTransfer releases one wire reference; the final release recycles the
+// struct and storage. The accounting was already released by BeginTransfer.
+func (m *Mbuf) EndTransfer() {
+	if m == nil {
+		return
+	}
+	if m.refs > 0 {
+		m.refs--
+		return
+	}
+	m.owner.recycle(m)
 }
 
 // Stats is a snapshot of pool counters.
@@ -62,6 +148,9 @@ type Pool struct {
 	highWater int
 	allocs    uint64
 	failures  uint64
+
+	freeM   []*Mbuf                   // recycled structs
+	freeBuf [len(bufClasses)][][]byte // recycled storage, by size class
 }
 
 // NewPool returns a pool that allows up to limit buffers outstanding.
@@ -70,19 +159,121 @@ func NewPool(limit int) *Pool {
 	return &Pool{limit: limit}
 }
 
-// Alloc returns a buffer holding data (which the mbuf aliases; the caller
-// must not reuse it), or nil if the pool is exhausted.
-func (p *Pool) Alloc(data []byte) *Mbuf {
+// reserve performs the bounded-accounting half of every allocation. It
+// must stay byte-for-byte equivalent to the original Alloc counters: the
+// experiments assert on high-water and failure values.
+func (p *Pool) reserve() bool {
 	if p.limit > 0 && p.inUse >= p.limit {
 		p.failures++
-		return nil
+		return false
 	}
 	p.inUse++
 	if p.inUse > p.highWater {
 		p.highWater = p.inUse
 	}
 	p.allocs++
-	return &Mbuf{Data: data, pool: p}
+	return true
+}
+
+// getMbuf returns a recycled struct or a fresh one.
+func (p *Pool) getMbuf() *Mbuf {
+	if n := len(p.freeM); n > 0 {
+		m := p.freeM[n-1]
+		p.freeM[n-1] = nil
+		p.freeM = p.freeM[:n-1]
+		m.pool = p
+		m.owner = p
+		return m
+	}
+	return &Mbuf{pool: p, owner: p}
+}
+
+// getBuf returns an owned array with capacity >= n: recycled when the size
+// class has one, freshly allocated otherwise. Oversize requests get an
+// exact-size array that will not be recycled.
+func (p *Pool) getBuf(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	if fn := len(p.freeBuf[ci]); fn > 0 {
+		b := p.freeBuf[ci][fn-1]
+		p.freeBuf[ci][fn-1] = nil
+		p.freeBuf[ci] = p.freeBuf[ci][:fn-1]
+		return b
+	}
+	return make([]byte, bufClasses[ci])
+}
+
+// putBuf returns an owned array to its size class. Arrays whose capacity is
+// not exactly a class size (oversize fallbacks) are dropped for the GC.
+func (p *Pool) putBuf(b []byte) {
+	c := cap(b)
+	for i, cs := range bufClasses {
+		if c == cs {
+			p.freeBuf[i] = append(p.freeBuf[i], b[:c])
+			return
+		}
+	}
+}
+
+// recycle returns a released mbuf's storage and struct to the free lists.
+func (p *Pool) recycle(m *Mbuf) {
+	if m.buf != nil {
+		p.putBuf(m.buf)
+		m.buf = nil
+	}
+	m.Data = nil
+	m.Arrival = 0
+	m.refs = 0
+	m.pool = nil
+	m.owner = nil
+	p.freeM = append(p.freeM, m)
+}
+
+// Alloc returns a buffer holding data (which the mbuf aliases; the caller
+// must not reuse it), or nil if the pool is exhausted. The aliased array is
+// never recycled — it belongs to the caller.
+func (p *Pool) Alloc(data []byte) *Mbuf {
+	if !p.reserve() {
+		return nil
+	}
+	m := p.getMbuf()
+	m.Data = data
+	return m
+}
+
+// AllocCopy returns a buffer holding a private copy of b, or nil if the
+// pool is exhausted. The copy lives in pool-owned storage, so the caller
+// may reuse or recycle b immediately. Data's capacity is clipped to its
+// length: appending to it never scribbles on the recycled spare capacity.
+func (p *Pool) AllocCopy(b []byte) *Mbuf {
+	if !p.reserve() {
+		return nil
+	}
+	m := p.getMbuf()
+	m.buf = p.getBuf(len(b))
+	m.Data = m.buf[:len(b):len(b)]
+	copy(m.Data, b)
+	return m
+}
+
+// AllocBuf returns an empty mbuf backed by owned storage with capacity at
+// least n, for building a packet in place with the pkt append builders:
+//
+//	m := pool.AllocBuf(pkt.UDPTotalLen(len(payload)))
+//	m.Data = pkt.AppendUDP(m.Data, ...)
+//
+// Staying within n keeps the build allocation-free; exceeding it makes
+// append fall back to a fresh array (correct, but a new allocation).
+func (p *Pool) AllocBuf(n int) *Mbuf {
+	if !p.reserve() {
+		return nil
+	}
+	m := p.getMbuf()
+	m.buf = p.getBuf(n)
+	m.Data = m.buf[:0]
+	return m
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -104,10 +295,13 @@ func (p *Pool) String() string {
 
 // Queue is a bounded FIFO of mbufs — the building block for the shared IP
 // queue, socket queues, interface queues, and NI channel queues. A Limit of
-// 0 means unbounded.
+// 0 means unbounded. The queue is a ring buffer: steady-state enqueue and
+// dequeue touch no allocator.
 type Queue struct {
 	Limit int
-	buf   []*Mbuf
+	ring  []*Mbuf
+	head  int
+	count int
 	drops uint64
 }
 
@@ -115,13 +309,27 @@ type Queue struct {
 func NewQueue(limit int) *Queue { return &Queue{Limit: limit} }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.buf) }
+func (q *Queue) Len() int { return q.count }
 
 // Full reports whether an Enqueue would be refused.
-func (q *Queue) Full() bool { return q.Limit > 0 && len(q.buf) >= q.Limit }
+func (q *Queue) Full() bool { return q.Limit > 0 && q.count >= q.Limit }
 
 // Drops returns the number of packets refused because the queue was full.
 func (q *Queue) Drops() uint64 { return q.drops }
+
+// grow doubles the ring, unwrapping the live entries to the front.
+func (q *Queue) grow() {
+	n := len(q.ring) * 2
+	if n < 8 {
+		n = 8
+	}
+	ring := make([]*Mbuf, n)
+	for i := 0; i < q.count; i++ {
+		ring[i] = q.ring[(q.head+i)%len(q.ring)]
+	}
+	q.ring = ring
+	q.head = 0
+}
 
 // Enqueue appends m, or frees it and returns false if the queue is full.
 // (Callers that must not free on failure should test Full first.)
@@ -131,37 +339,44 @@ func (q *Queue) Enqueue(m *Mbuf) bool {
 		m.Free()
 		return false
 	}
-	q.buf = append(q.buf, m)
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	i := q.head + q.count
+	if i >= len(q.ring) {
+		i -= len(q.ring)
+	}
+	q.ring[i] = m
+	q.count++
 	return true
 }
 
 // Dequeue removes and returns the head packet, or nil if empty.
 func (q *Queue) Dequeue() *Mbuf {
-	if len(q.buf) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	m := q.buf[0]
-	q.buf[0] = nil
-	q.buf = q.buf[1:]
-	// Reset the backing array occasionally so the queue doesn't pin memory.
-	if len(q.buf) == 0 && cap(q.buf) > 1024 {
-		q.buf = nil
+	m := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head++
+	if q.head == len(q.ring) {
+		q.head = 0
 	}
+	q.count--
 	return m
 }
 
 // Peek returns the head packet without removing it, or nil if empty.
 func (q *Queue) Peek() *Mbuf {
-	if len(q.buf) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	return q.buf[0]
+	return q.ring[q.head]
 }
 
 // Flush frees all queued packets and empties the queue.
 func (q *Queue) Flush() {
-	for _, m := range q.buf {
-		m.Free()
+	for q.count > 0 {
+		q.Dequeue().Free()
 	}
-	q.buf = nil
 }

@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 
+	"lrp/internal/mbuf"
 	"lrp/internal/nic"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
@@ -77,11 +78,11 @@ func (nw *Network) Attach(n *nic.NIC, addr pkt.Addr, bandwidthBps int64, propDel
 	}
 	nw.ports[addr] = p
 	nw.order = append(nw.order, p)
-	n.Transmit = func(b []byte, done func()) {
-		st := nw.serializationTime(p, len(b))
+	n.Transmit = func(m *mbuf.Mbuf, done func()) {
+		st := nw.serializationTime(p, m.Len())
 		nw.Eng.After(st, func() {
 			done()
-			nw.route(b, p.propDelay)
+			nw.route(m.Data, m, p.propDelay)
 		})
 	}
 }
@@ -102,21 +103,33 @@ func (nw *Network) serializationTime(p *port, size int) int64 {
 	return t
 }
 
-// route looks up the destination IP and schedules delivery.
-func (nw *Network) route(b []byte, propDelay int64) {
+// route looks up the destination IP and schedules delivery. m, when
+// non-nil, is the in-transfer mbuf whose storage backs b; route owns one
+// wire reference to it and releases it on every non-delivery path.
+func (nw *Network) route(b []byte, m *mbuf.Mbuf, propDelay int64) {
 	ih, _, err := pkt.DecodeIPv4(b)
 	if err != nil {
 		nw.stats.NoRoute++
+		m.EndTransfer()
 		return
 	}
 	if ih.Dst.IsMulticast() {
 		// LAN multicast: every attached host except the sender receives a
-		// copy (in deterministic attachment order).
+		// copy (in deterministic attachment order). Each delivery consumes
+		// one wire reference on the shared storage.
+		first := true
 		for _, p := range nw.order {
 			if p.addr == ih.Src {
 				continue
 			}
-			nw.deliverTo(p, b, propDelay)
+			if !first && m != nil {
+				m.AddRef()
+			}
+			first = false
+			nw.deliverTo(p, b, m, propDelay)
+		}
+		if first {
+			m.EndTransfer() // no receivers
 		}
 		return
 	}
@@ -124,22 +137,26 @@ func (nw *Network) route(b []byte, propDelay int64) {
 	if !ok {
 		if via, hasRoute := nw.routes[ih.Dst]; hasRoute {
 			if gw, gok := nw.ports[via]; gok {
-				nw.deliverTo(gw, b, propDelay)
+				nw.deliverTo(gw, b, m, propDelay)
 				return
 			}
 		}
 		nw.stats.NoRoute++
+		m.EndTransfer()
 		return
 	}
-	nw.deliverTo(dst, b, propDelay)
+	nw.deliverTo(dst, b, m, propDelay)
 }
 
 // deliverTo schedules delivery of b into one attached host, serialized at
 // the receiver's link rate: back-to-back packets arrive no faster than
-// the destination link can carry them.
-func (nw *Network) deliverTo(dst *port, b []byte, propDelay int64) {
+// the destination link can carry them. It consumes one wire reference on m:
+// the receiving NIC copies the packet in Rx, after which the storage is
+// released for recycling.
+func (nw *Network) deliverTo(dst *port, b []byte, m *mbuf.Mbuf, propDelay int64) {
 	if nw.lossRate > 0 && nw.lossRng.Float64() < nw.lossRate {
 		nw.stats.Lost++
+		m.EndTransfer()
 		return
 	}
 	now := nw.Eng.Now()
@@ -150,7 +167,10 @@ func (nw *Network) deliverTo(dst *port, b []byte, propDelay int64) {
 	}
 	dst.rxFreeAt = arrive + rxTime
 	nw.stats.Delivered++
-	nw.Eng.At(arrive+rxTime, func() { dst.nic.Rx(b) })
+	nw.Eng.At(arrive+rxTime, func() {
+		dst.nic.Rx(b)
+		m.EndTransfer()
+	})
 }
 
 // SetLoss makes the network drop each delivered packet with probability
@@ -177,7 +197,19 @@ func (nw *Network) AddRoute(dst, via pkt.Addr) {
 // paper used an in-kernel packet source for the same reason).
 func (nw *Network) Inject(b []byte) {
 	nw.stats.Injected++
-	nw.route(b, 0)
+	nw.route(b, nil, 0)
+}
+
+// InjectMbuf injects a packet built in pool-owned mbuf storage. The mbuf's
+// accounting is released immediately (the generator's pool slot frees at
+// injection, like a sender NIC's does at transmit start) and its storage
+// recycles to the generator's pool once the last receiver has taken a copy.
+// Generators use this with a private pool to send without per-packet
+// allocation.
+func (nw *Network) InjectMbuf(m *mbuf.Mbuf) {
+	m.BeginTransfer()
+	nw.stats.Injected++
+	nw.route(m.Data, m, 0)
 }
 
 // LookupNIC returns the NIC attached at addr, if any.

@@ -71,9 +71,11 @@ type NIC struct {
 	// it packets are dropped on the adaptor, costing the host nothing.
 	NICInputLimit int
 
-	// Transmit is installed by the network layer; it serializes b onto the
-	// wire and calls done when the link is free for the next packet.
-	Transmit func(b []byte, done func())
+	// Transmit is installed by the network layer; it serializes m onto the
+	// wire and calls done when the link is free for the next packet. The
+	// mbuf arrives with its accounting already released (BeginTransfer);
+	// the network layer must EndTransfer it when the packet leaves the wire.
+	Transmit func(m *mbuf.Mbuf, done func())
 
 	rxRing       *mbuf.Queue
 	intrPending  bool
@@ -138,7 +140,7 @@ func (n *NIC) Rx(b []byte) {
 	n.stats.RxPackets++
 	switch n.Mode {
 	case ModeRaw:
-		m := n.Pool.Alloc(b)
+		m := n.Pool.AllocCopy(b)
 		if m == nil {
 			n.stats.RxRingDrops++
 			return
@@ -159,7 +161,7 @@ func (n *NIC) Rx(b []byte) {
 			n.stats.NICDrops++
 			return
 		}
-		m := n.Pool.Alloc(b)
+		m := n.Pool.AllocCopy(b)
 		if m == nil {
 			n.stats.NICDrops++
 			return
@@ -260,13 +262,16 @@ func (n *NIC) kickTx() {
 	}
 	n.txBusy = true
 	n.stats.TxPackets++
-	b := m.Data
-	m.Free()
+	// Release the pool slot now (transmission has started, as when this
+	// path freed the mbuf and kept its bytes) but keep the storage alive
+	// until the network layer finishes with it.
+	m.BeginTransfer()
 	if n.Transmit == nil {
+		m.EndTransfer()
 		n.txDone()
 		return
 	}
-	n.Transmit(b, n.txDone)
+	n.Transmit(m, n.txDone)
 }
 
 func (n *NIC) txDone() {

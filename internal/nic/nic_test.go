@@ -132,9 +132,9 @@ func TestSendSerializesViaTransmit(t *testing.T) {
 	pool := mbuf.NewPool(0)
 	n := New(eng, Config{Mode: ModeRaw, IfqLimit: 10})
 	var sentAt []sim.Time
-	n.Transmit = func(b []byte, done func()) {
+	n.Transmit = func(m *mbuf.Mbuf, done func()) {
 		sentAt = append(sentAt, eng.Now())
-		eng.After(50, done) // 50µs serialization per packet
+		eng.After(50, func() { m.EndTransfer(); done() }) // 50µs serialization per packet
 	}
 	eng.At(0, func() {
 		n.Send(pool.Alloc(make([]byte, 100)))
@@ -160,7 +160,9 @@ func TestIfqOverflowDrops(t *testing.T) {
 	eng := sim.NewEngine()
 	pool := mbuf.NewPool(0)
 	n := New(eng, Config{Mode: ModeRaw, IfqLimit: 2})
-	n.Transmit = func(b []byte, done func()) { eng.After(1000, done) }
+	n.Transmit = func(m *mbuf.Mbuf, done func()) {
+		eng.After(1000, func() { m.EndTransfer(); done() })
+	}
 	eng.At(0, func() {
 		for i := 0; i < 5; i++ {
 			n.Send(pool.Alloc(make([]byte, 10)))

@@ -1,0 +1,23 @@
+package pkt
+
+import "testing"
+
+// TestAppendBuildersZeroAllocs pins AppendUDP and AppendTCP at zero
+// allocations per packet when the destination has capacity — the contract
+// the senders rely on when building into recycled mbuf storage.
+func TestAppendBuildersZeroAllocs(t *testing.T) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	payload := make([]byte, 1400)
+	buf := make([]byte, 0, 2048)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendUDP(buf[:0], src, dst, 9, 7, 1, 64, payload, true)
+	}); n != 0 {
+		t.Errorf("AppendUDP allocates %v per op with capacity, want 0", n)
+	}
+	h := TCPHeader{SrcPort: 80, DstPort: 4000, Seq: 1, Ack: 2, Flags: TCPAck, Window: 8192}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendTCP(buf[:0], src, dst, &h, 1, 64, payload)
+	}); n != 0 {
+		t.Errorf("AppendTCP allocates %v per op with capacity, want 0", n)
+	}
+}

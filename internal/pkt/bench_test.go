@@ -1,0 +1,53 @@
+package pkt
+
+import "testing"
+
+var benchPayload = make([]byte, 1400)
+
+// BenchmarkPktUDPPacket measures whole-packet UDP construction (the
+// blast/media traffic generators' per-packet work).
+func BenchmarkPktUDPPacket(b *testing.B) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = UDPPacket(src, dst, 9, 7, uint16(i), 64, benchPayload[:14], true)
+	}
+}
+
+// BenchmarkPktAppendUDP measures UDP construction into a reused buffer,
+// the generators' steady-state per-packet work.
+func BenchmarkPktAppendUDP(b *testing.B) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendUDP(buf[:0], src, dst, 9, 7, uint16(i), 64, benchPayload[:14], true)
+	}
+}
+
+// BenchmarkPktAppendTCP measures TCP segment construction into a reused
+// buffer, the transmit path's steady-state per-segment work.
+func BenchmarkPktAppendTCP(b *testing.B) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	h := TCPHeader{SrcPort: 80, DstPort: 4000, Seq: 1, Ack: 2, Flags: TCPAck, Window: 8192}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTCP(buf[:0], src, dst, &h, uint16(i), 64, benchPayload)
+	}
+}
+
+// BenchmarkPktTCPSegment measures whole-segment TCP construction (the TCP
+// transmit path's per-segment work).
+func BenchmarkPktTCPSegment(b *testing.B) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	h := TCPHeader{SrcPort: 80, DstPort: 4000, Seq: 1, Ack: 2, Flags: TCPAck, Window: 8192}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TCPSegment(src, dst, &h, uint16(i), 64, benchPayload)
+	}
+}

@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// TestEngineHotPathZeroAllocs pins the schedule+fire cycle at zero
+// allocations per operation once the event free list is warm. Every
+// simulated packet, timer and CPU burst rides this path, so a regression
+// here is a regression everywhere.
+func TestEngineHotPathZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm up: populate the free list and the heap's backing array.
+	for i := 0; i < 16; i++ {
+		e.At(e.Now(), fn)
+		e.Step()
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		e.At(e.Now(), fn)
+		e.Step()
+	}); n != 0 {
+		t.Errorf("At+Step allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ev := e.At(e.Now()+100, fn)
+		e.Cancel(ev)
+	}); n != 0 {
+		t.Errorf("At+Cancel allocates %v per op, want 0", n)
+	}
+}

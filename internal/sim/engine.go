@@ -8,10 +8,15 @@
 // All higher layers of the LRP reproduction — the simulated kernel, NICs,
 // links, protocols and applications — advance time exclusively through this
 // engine. Nothing in the repository reads the wall clock.
+//
+// Scheduling is allocation-free in steady state: fired and cancelled events
+// return to a per-engine free list and are reused by later At/After calls.
+// A generation counter in each pooled event makes stale handles harmless —
+// cancelling an event that already fired is a no-op even after its storage
+// has been reused for an unrelated event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -31,20 +36,45 @@ const (
 // sentinel "never" deadline.
 const MaxTime Time = math.MaxInt64
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it before it fires.
-type Event struct {
+// event is the pooled representation of one scheduled callback. Storage is
+// reused across schedulings; gen distinguishes incarnations.
+type event struct {
 	when Time
 	seq  uint64
+	gen  uint64
 	idx  int // heap index; -1 once fired or cancelled
 	fn   func()
 }
 
+// Event is a handle to a scheduled callback, returned by the scheduling
+// methods so callers can cancel it before it fires. The zero Event is valid
+// and behaves like an event that has already been cancelled. Handles stay
+// safe after the event fires: the generation counter they carry no longer
+// matches the pooled storage, so Cancel and Active degrade to no-ops even
+// if the storage now backs a different event.
+type Event struct {
+	e    *event
+	gen  uint64
+	when Time
+}
+
 // When returns the time at which the event is (or was) scheduled to fire.
-func (e *Event) When() Time { return e.when }
+func (ev Event) When() Time { return ev.when }
+
+// Active reports whether the event is still pending: scheduled, not yet
+// fired, and not cancelled.
+func (ev Event) Active() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && ev.e.idx >= 0
+}
 
 // Cancelled reports whether the event has fired or been cancelled.
-func (e *Event) Cancelled() bool { return e.idx < 0 }
+func (ev Event) Cancelled() bool { return !ev.Active() }
+
+// IsZero reports whether ev is the zero handle, i.e. no event was ever
+// scheduled into it. Holders that use "a handle is stored" as state (as the
+// kernel does for its open burst) must test IsZero, not Active: a fired
+// event's handle is stale but still records that a burst was opened.
+func (ev Event) IsZero() bool { return ev.e == nil }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
@@ -52,6 +82,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
+	free    []*event // retired events awaiting reuse
 	stopped bool
 
 	// processed counts events that have fired, for diagnostics and for the
@@ -72,49 +103,66 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it always indicates a logic error in a simulation layer.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.when = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.queue.push(ev)
+	return Event{e: ev, gen: ev.gen, when: t}
 }
 
 // After schedules fn to run d microseconds from now. A non-positive d runs
 // the event at the current time, after any already-queued events for this
 // instant.
-func (e *Engine) After(d int64, fn func()) *Event {
+func (e *Engine) After(d int64, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// has already fired or been cancelled is a no-op, so callers may cancel
-// unconditionally.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 {
+// Cancel removes a pending event from the queue. Cancelling a zero handle,
+// or one whose event has already fired or been cancelled, is a no-op, so
+// callers may cancel unconditionally.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.Active() {
 		return
 	}
-	heap.Remove(&e.queue, ev.idx)
+	e.queue.remove(ev.e.idx)
+	e.retire(ev.e)
+}
+
+// retire returns a fired or cancelled event to the free list, bumping its
+// generation so outstanding handles go stale.
+func (e *Engine) retire(ev *event) {
 	ev.idx = -1
 	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Step fires the next event, advancing the clock to its timestamp. It
 // returns false if the queue is empty or the engine has been stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || e.queue.Len() == 0 {
+	if e.stopped || e.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.idx = -1
+	ev := e.queue.pop()
 	e.now = ev.when
 	fn := ev.fn
-	ev.fn = nil
+	e.retire(ev)
 	e.processed++
 	fn()
 	return true
@@ -131,7 +179,7 @@ func (e *Engine) Run() {
 // the number of events processed.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.processed
-	for !e.stopped && e.queue.Len() > 0 && e.queue[0].when <= deadline {
+	for !e.stopped && e.queue.len() > 0 && e.queue.a[0].when <= deadline {
 		e.Step()
 	}
 	if !e.stopped && e.now < deadline {
@@ -153,46 +201,113 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // NextEventTime returns the timestamp of the earliest queued event, or
 // MaxTime if the queue is empty.
 func (e *Engine) NextEventTime() Time {
-	if e.queue.Len() == 0 {
+	if e.queue.len() == 0 {
 		return MaxTime
 	}
-	return e.queue[0].when
+	return e.queue.a[0].when
 }
 
-// eventHeap implements container/heap ordered by (when, seq).
-type eventHeap []*Event
+// eventHeap is an inlined 4-ary min-heap ordered by (when, seq). A 4-ary
+// layout halves tree depth versus binary, and the inlined sift loops avoid
+// container/heap's interface boxing on every operation — the reason
+// scheduling used to allocate.
+type eventHeap struct {
+	a []*event
+}
 
-func (h eventHeap) Len() int { return len(h) }
+func (h *eventHeap) len() int { return len(h.a) }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// less orders events by firing time, FIFO within the same instant.
+func less(x, y *event) bool {
+	if x.when != y.when {
+		return x.when < y.when
 	}
-	return h[i].seq < h[j].seq
+	return x.seq < y.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+func (h *eventHeap) push(ev *event) {
+	ev.idx = len(h.a)
+	h.a = append(h.a, ev)
+	h.up(ev.idx)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+func (h *eventHeap) pop() *event {
+	ev := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a[0].idx = 0
+	h.a[n] = nil
+	h.a = h.a[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	ev.idx = -1
 	return ev
+}
+
+// remove deletes the event at heap index i.
+func (h *eventHeap) remove(i int) {
+	n := len(h.a) - 1
+	ev := h.a[i]
+	if i != n {
+		h.a[i] = h.a[n]
+		h.a[i].idx = i
+	}
+	h.a[n] = nil
+	h.a = h.a[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	ev.idx = -1
+}
+
+func (h *eventHeap) up(i int) {
+	ev := h.a[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h.a[parent]
+		if !less(ev, p) {
+			break
+		}
+		h.a[i] = p
+		p.idx = i
+		i = parent
+	}
+	h.a[i] = ev
+	ev.idx = i
+}
+
+func (h *eventHeap) down(i int) {
+	ev := h.a[i]
+	n := len(h.a)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(h.a[c], h.a[min]) {
+				min = c
+			}
+		}
+		if !less(h.a[min], ev) {
+			break
+		}
+		h.a[i] = h.a[min]
+		h.a[i].idx = i
+		i = min
+	}
+	h.a[i] = ev
+	ev.idx = i
 }

@@ -53,7 +53,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	evs := make([]*Event, 0, 20)
+	evs := make([]Event, 0, 20)
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, e.At(Time(i*10), func() { got = append(got, i) }))

@@ -104,7 +104,9 @@ const (
 type Hooks struct {
 	// Now returns the current time in µs.
 	Now func() int64
-	// Output transmits a fully encoded IP packet.
+	// Output transmits a fully encoded IP packet. b is built in a scratch
+	// buffer the connection reuses for its next segment: it is valid only
+	// until Output returns, so the host must copy (or fully consume) it.
 	Output func(c *Conn, b []byte)
 	// ArmTimer (re)schedules a timer to fire after delay µs; DisarmTimer
 	// cancels it. The host must call TimerExpire in an appropriate
@@ -217,6 +219,10 @@ type Conn struct {
 	parent    *Conn
 
 	ipID uint16
+
+	// txScratch is reused for every outgoing segment build (see
+	// Hooks.Output for the resulting lifetime contract).
+	txScratch []byte
 
 	Stats Stats
 }
@@ -426,11 +432,11 @@ func (c *Conn) sendFlags(flags byte, seq uint32, payload []byte, withMSS bool) {
 		h.MSS = uint16(c.MSS)
 	}
 	c.ipID++
-	b := pkt.TCPSegment(c.Local, c.Remote, &h, c.ipID, 64, payload)
+	c.txScratch = pkt.AppendTCP(c.txScratch[:0], c.Local, c.Remote, &h, c.ipID, 64, payload)
 	c.Stats.SegsOut++
 	c.Stats.BytesOut += uint64(len(payload))
 	c.lastAdvWnd = uint32(h.Window)
-	c.H.Output(c, b)
+	c.H.Output(c, c.txScratch)
 }
 
 // sendAck emits a bare ACK advertising the current window and clears any
@@ -480,7 +486,7 @@ func (c *Conn) sendRST(seq uint32) {
 		Flags: pkt.TCPRst | pkt.TCPAck,
 	}
 	c.ipID++
-	b := pkt.TCPSegment(c.Local, c.Remote, &h, c.ipID, 64, nil)
+	c.txScratch = pkt.AppendTCP(c.txScratch[:0], c.Local, c.Remote, &h, c.ipID, 64, nil)
 	c.Stats.SegsOut++
-	c.H.Output(c, b)
+	c.H.Output(c, c.txScratch)
 }

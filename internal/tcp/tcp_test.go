@@ -18,7 +18,7 @@ type testNet struct {
 	delay  int64
 	drop   func(b []byte) bool // return true to lose the packet
 	conns  []*Conn
-	timers map[*Conn]map[Timer]*sim.Event
+	timers map[*Conn]map[Timer]sim.Event
 	events map[*Conn][]Event
 	iss    uint32
 	hooks  *Hooks
@@ -29,7 +29,7 @@ func newTestNet(t *testing.T) *testNet {
 		t:      t,
 		eng:    sim.NewEngine(),
 		delay:  100, // µs one-way
-		timers: make(map[*Conn]map[Timer]*sim.Event),
+		timers: make(map[*Conn]map[Timer]sim.Event),
 		events: make(map[*Conn][]Event),
 	}
 	n.hooks = &Hooks{
@@ -39,7 +39,7 @@ func newTestNet(t *testing.T) *testNet {
 			n.disarm(c, tm)
 			m := n.timers[c]
 			if m == nil {
-				m = make(map[Timer]*sim.Event)
+				m = make(map[Timer]sim.Event)
 				n.timers[c] = m
 			}
 			m[tm] = n.eng.After(d, func() {
@@ -71,7 +71,7 @@ func newTestNet(t *testing.T) *testNet {
 
 func (n *testNet) disarm(c *Conn, tm Timer) {
 	if m := n.timers[c]; m != nil {
-		if ev := m[tm]; ev != nil {
+		if ev, ok := m[tm]; ok {
 			n.eng.Cancel(ev)
 			delete(m, tm)
 		}
