@@ -1,0 +1,46 @@
+// Command lrplint runs the repository's static-analysis suite: the
+// determinism, mbufown, eventhandle, and hotalloc analyzers (see
+// internal/analysis and the "Static analysis & invariants" section of
+// DESIGN.md). It exits nonzero when any finding survives, so CI can gate
+// on it:
+//
+//	go run ./cmd/lrplint ./...
+//
+// Patterns are Go package patterns relative to the module root; with no
+// arguments the whole module is checked. Test files are not analyzed —
+// they deliberately exercise protocol violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lrp/internal/analysis/lrplint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lrplint [packages]\n\nRuns the lrp static-analysis suite:\n")
+		for _, a := range lrplint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrplint:", err)
+		os.Exit(2)
+	}
+	n, err := lrplint.Run(wd, flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrplint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "lrplint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

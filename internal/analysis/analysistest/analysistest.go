@@ -1,0 +1,145 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its diagnostics against expectations written in the sources,
+// mirroring the golang.org/x/tools analysistest convention:
+//
+//	time.Now() // want `time\.Now`
+//
+// A `// want` comment holds one or more backquoted or double-quoted
+// regular expressions; each must match exactly one diagnostic reported on
+// that line, in order. Lines without a want comment must produce no
+// diagnostics. The testdata directory is loaded under an assumed import
+// path, so a fixture can pose as a sim-core package ("lrp/internal/core")
+// or as the allowlisted runner ("lrp/internal/runner") to exercise
+// path-sensitive rules; fixture imports of real module packages (sim,
+// mbuf) resolve against the real tree.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lrp/internal/analysis/framework"
+)
+
+// expectation is one want pattern awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads dir as a package with import path pkgpath, applies the
+// analyzer, and reports any mismatch between diagnostics and the
+// `// want` expectations as test errors.
+func Run(t *testing.T, a *framework.Analyzer, dir, pkgpath string) {
+	t.Helper()
+	loader, err := framework.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, pkgpath)
+	if err != nil {
+		t.Fatalf("load %s as %s: %v", dir, pkgpath, err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	expects, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("parse expectations: %v", err)
+	}
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmet expectation matching the diagnostic.
+func claim(expects []*expectation, d framework.Diagnostic) bool {
+	for _, e := range expects {
+		if e.met || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts `// want` expectations from every comment in the
+// package, keyed to the line the comment sits on.
+func parseWants(pkg *framework.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in want: %s", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[2+end:]
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in want: %s", s)
+			}
+			q := s[:end+2]
+			var err error
+			lit, err = strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %v", q, err)
+			}
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted: %s", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,27 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"lrp/internal/analysis/analysistest"
+	"lrp/internal/analysis/determinism"
+)
+
+// TestSimCoreViolations is the acceptance demonstration: a time.Now (or
+// timer, global rand, map range, goroutine, select) introduced into a
+// sim-core package such as internal/core fails the build.
+func TestSimCoreViolations(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/simcore", "lrp/internal/core")
+}
+
+// TestRunnerConcurrencyAllowed pins the allowlist: the experiment runner's
+// worker-pool goroutines and sync primitives are not findings.
+func TestRunnerConcurrencyAllowed(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/runnerok", "lrp/internal/runner")
+}
+
+// TestKernelCoroutineWaiver pins the one sanctioned go statement form:
+// kernel coroutines annotated //lrp:coroutine pass, bare ones fail.
+func TestKernelCoroutineWaiver(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/kernelco", "lrp/internal/kernel")
+}

@@ -1,0 +1,26 @@
+// Package runnerok poses as "lrp/internal/runner" in the determinism
+// analyzer's tests: the experiment sweep's worker pool is the one
+// deliberately concurrent package, so none of this is flagged.
+package runnerok
+
+import "sync"
+
+func fanOut(jobs []func() int) []int {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out []int
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(fn func() int) {
+			defer wg.Done()
+			v := fn()
+			mu.Lock()
+			out = append(out, v)
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,53 @@
+// Package simcore poses as "lrp/internal/core" in the determinism
+// analyzer's tests: every rule group applies here.
+package simcore
+
+import (
+	"math/rand"
+	"sync" // want `package imports "sync"`
+	"time" // want `sim-core package imports "time"`
+)
+
+func clock() int64 {
+	t := time.Now()   // want `time\.Now reads the wall clock`
+	_ = time.Since(t) // want `time\.Since reads the wall clock`
+	return t.UnixNano()
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `rand\.Intn uses the shared global generator`
+}
+
+// seeded is tolerated: an explicitly seeded private source is
+// reproducible, unlike the package-level generator.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func iterate(m map[string]int, s []int) int {
+	total := 0
+	for _, v := range m { // want `range over map iterates in randomized order`
+		total += v
+	}
+	for _, v := range s { // slices iterate deterministically
+		total += v
+	}
+	for _, v := range m { //lrp:nolint determinism — summing commutes, order cannot leak
+		total += v
+	}
+	return total
+}
+
+func spawn(mu *sync.Mutex, ch chan int) {
+	go func() { ch <- 1 }() // want `go statement spawns a goroutine`
+	select {                // want `select statement`
+	case <-ch:
+	default:
+	}
+	mu.Lock()
+}

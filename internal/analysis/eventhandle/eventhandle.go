@@ -1,0 +1,152 @@
+// Package eventhandle checks uses of sim.Event, the generation-counted
+// handle returned by the engine's scheduling methods. Handles are values:
+// the engine recycles the pooled event storage behind them, so the only
+// meaningful questions are Active() ("still pending?") and IsZero()
+// ("was anything ever scheduled here?"). The analyzer flags the stale
+// patterns that the generation counter exists to defuse:
+//
+//   - storing a *sim.Event (a pointer type in a declaration, or taking
+//     &ev): a pointer pins one incarnation of recycled storage and
+//     resurrects exactly the stale-handle bugs the design removed.
+//   - comparing two handles with == or !=: handle identity says nothing
+//     once storage is recycled; ask Active(), or compare the When() values
+//     the caller actually cares about.
+//   - comparing a handle against the zero literal sim.Event{}: that is
+//     IsZero() spelled fragilely.
+//   - re-arming guarded by IsZero(): `if ev.IsZero() { ev = eng.After(...) }`
+//     never re-arms after the first firing, because a fired handle is
+//     stale but non-zero. Use Active(), or zero the handle in the event
+//     body (the kernel's burst pattern, documented on Event.IsZero).
+package eventhandle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lrp/internal/analysis/framework"
+)
+
+// Analyzer is the event-handle check.
+var Analyzer = &framework.Analyzer{
+	Name: "eventhandle",
+	Doc:  "check sim.Event handle discipline: no pointers to handles, no identity comparison, Active() vs IsZero()",
+	Run:  run,
+}
+
+const simPkg = "lrp/internal/sim"
+
+func run(pass *framework.Pass) error {
+	// The sim package owns the abstraction and its internals.
+	if pass.PkgPath == simPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.IsType() && isEvent(tv.Type.(*types.Pointer).Elem()) {
+					pass.Reportf(n.Pos(), "*sim.Event pins recycled event storage and goes stale when the event fires: store the Event handle by value")
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "&" {
+					if tv, ok := pass.TypesInfo.Types[n.X]; ok && isEvent(tv.Type) {
+						pass.Reportf(n.Pos(), "taking the address of a sim.Event: handles are values; a pointer resurrects stale-handle bugs")
+					}
+				}
+			case *ast.BinaryExpr:
+				op := n.Op.String()
+				if op != "==" && op != "!=" {
+					return true
+				}
+				xt, xok := pass.TypesInfo.Types[n.X]
+				yt, yok := pass.TypesInfo.Types[n.Y]
+				if !xok || !yok || !isEvent(xt.Type) || !isEvent(yt.Type) {
+					return true
+				}
+				if isZeroEventLit(pass, n.X) || isZeroEventLit(pass, n.Y) {
+					pass.Reportf(n.Pos(), "comparing a sim.Event against the zero literal: use ev.IsZero()")
+				} else {
+					pass.Reportf(n.Pos(), "comparing sim.Event handles for identity: recycled storage makes identity meaningless; use Active() or compare When()")
+				}
+			case *ast.IfStmt:
+				checkIsZeroRearm(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkIsZeroRearm flags `if ev.IsZero() { ... ev = <schedule> ... }`.
+func checkIsZeroRearm(pass *framework.Pass, ifs *ast.IfStmt) {
+	call, ok := ifs.Cond.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "IsZero" {
+		return
+	}
+	recvTV, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isEvent(recvTV.Type) {
+		return
+	}
+	recv := types.ExprString(sel.X)
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if types.ExprString(lhs) != recv {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if rhsSchedules(pass, rhs) {
+				pass.Reportf(ifs.Pos(), "IsZero() gates re-scheduling of %s, but a fired handle is non-zero and stale, so this never re-arms: use Active(), or zero the handle when the event fires", recv)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// rhsSchedules reports whether e contains a call returning a sim.Event
+// (Engine.At/After or a wrapper).
+func rhsSchedules(pass *framework.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[call]; ok && tv.Type != nil && isEvent(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isZeroEventLit matches the composite literal sim.Event{}.
+func isZeroEventLit(pass *framework.Pass, e ast.Expr) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		e = p.X
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}
+
+// isEvent reports whether t is the named type lrp/internal/sim.Event.
+func isEvent(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == simPkg
+}

@@ -1,0 +1,16 @@
+package eventhandle_test
+
+import (
+	"testing"
+
+	"lrp/internal/analysis/analysistest"
+	"lrp/internal/analysis/eventhandle"
+)
+
+// TestHandleDiscipline drives the stale-handle checks over testdata posing
+// as a sim-core consumer, including the negative cases for the documented
+// patterns: value storage, Active() re-arm guards, and the kernel's
+// IsZero-then-Cancel burst bookkeeping.
+func TestHandleDiscipline(t *testing.T) {
+	analysistest.Run(t, eventhandle.Analyzer, "testdata/evhandle", "lrp/internal/core")
+}

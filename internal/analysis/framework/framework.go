@@ -1,0 +1,193 @@
+// Package framework is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis, built only on the standard library's
+// go/ast and go/types. The container this repository grows in has no module
+// proxy access, so the real x/tools cannot be vendored; this package
+// reproduces the small slice of its API that the lrplint analyzers need:
+// an Analyzer descriptor, a per-package Pass with syntax + type
+// information, and position-sorted diagnostics.
+//
+// Suppression: a diagnostic is dropped when the source line it points at
+// carries a `//lrp:nolint` comment (optionally naming the analyzers it
+// silences, comma- or space-separated), or — for the hotalloc analyzer
+// only — a `//lrp:coldalloc <reason>` comment marking a deliberate,
+// amortized or cold allocation site. Waivers are greppable by design:
+// every exception to an invariant is written in the source it excuses.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and nolint comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned at Pos.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position. Suppressed findings (nolint/coldalloc
+// lines) are filtered out before sorting.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg)
+		for _, a := range analyzers {
+			var out []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &out,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range out {
+				if !sup.suppressed(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppressionSet maps file:line to the analyzer names waived there; the
+// empty name set means "all analyzers".
+type suppressionSet map[string]map[string]bool
+
+func key(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+func (s suppressionSet) suppressed(analyzer string, pos token.Position) bool {
+	names, ok := s[key(pos.Filename, pos.Line)]
+	if !ok {
+		return false
+	}
+	return len(names) == 0 || names[analyzer]
+}
+
+// suppressions scans a package's comments for waiver directives.
+func suppressions(pkg *Package) suppressionSet {
+	out := suppressionSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				line := pkg.Fset.Position(c.Pos()).Line
+				file := pkg.Fset.Position(c.Pos()).Filename
+				switch {
+				case strings.HasPrefix(text, "lrp:nolint"):
+					rest := strings.TrimPrefix(text, "lrp:nolint")
+					names := map[string]bool{}
+					for _, n := range strings.FieldsFunc(rest, func(r rune) bool {
+						return r == ',' || r == ' ' || r == '\t'
+					}) {
+						names[n] = true
+					}
+					out[key(file, line)] = names
+				case strings.HasPrefix(text, "lrp:coldalloc"):
+					out[key(file, line)] = map[string]bool{"hotalloc": true}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether cg contains a comment line whose text,
+// after the comment marker, starts with the given directive (e.g.
+// "lrp:hotpath"). Directive comments have no space after // — exactly the
+// form ast.CommentGroup.Text strips — so this inspects the raw list.
+func HasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// LineDirective reports whether any comment beginning on the same source
+// line as pos starts with the given directive.
+func (p *Pass) LineDirective(pos token.Pos, directive string) bool {
+	target := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename != target.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if p.Fset.Position(c.Pos()).Line != target.Line {
+					continue
+				}
+				text := strings.TrimPrefix(c.Text, "//")
+				if text == directive || strings.HasPrefix(text, directive+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

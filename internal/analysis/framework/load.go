@@ -1,0 +1,247 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string // import path ("lrp/internal/sim")
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files, sorted by filename
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module from
+// source. Packages inside the module are resolved by mapping their import
+// path onto a directory; standard-library imports are type-checked from
+// GOROOT source via go/importer's "source" compiler mode, which needs no
+// pre-built export data and no network. Third-party imports are
+// unsupported — the module has none, by construction.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else is delegated to the GOROOT source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory as
+// the package with the given import path. The path need not correspond to
+// the directory's real location — analyzer tests use this to check testdata
+// under an assumed identity such as "lrp/internal/core".
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, "_") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		// Honor //go:build constraints and GOOS/GOARCH filename suffixes so
+		// mutually exclusive files (e.g. race_on.go / race_off.go) don't both
+		// land in one type-check unit.
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Load expands patterns ("./...", "./internal/sim", "lrp/internal/sim", a
+// directory path) relative to the module root and loads every matched
+// package. Directories named testdata, hidden directories, and directories
+// with no non-test Go files are skipped during ... expansion.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walkGoDirs(l.ModuleDir, add)
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if strings.HasPrefix(base, l.ModulePath) {
+				base = "." + strings.TrimPrefix(base, l.ModulePath)
+			}
+			walkGoDirs(filepath.Join(l.ModuleDir, base), add)
+		case pat == l.ModulePath || strings.HasPrefix(pat, l.ModulePath+"/"):
+			add(filepath.Join(l.ModuleDir, strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")))
+		default:
+			abs := pat
+			if !filepath.IsAbs(pat) {
+				abs = filepath.Join(l.ModuleDir, pat)
+			}
+			add(abs)
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkGoDirs calls add for every directory under root that contains at
+// least one non-test Go file.
+func walkGoDirs(root string, add func(string)) {
+	filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if n == "testdata" || (len(n) > 1 && (strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_"))) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		n := d.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+			!strings.HasPrefix(n, "_") && !strings.HasPrefix(n, ".") {
+			add(filepath.Dir(p))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,302 @@
+// Package hotalloc reports heap-allocating constructs inside functions
+// annotated `//lrp:hotpath` (a line in the function's doc comment). The
+// annotated set — the sim event loop, the mbuf recycling cycle, the rx
+// path, and the pkt append builders — is pinned allocation-free by the
+// AllocsPerRun tests and BENCH_core.json; this analyzer catches the
+// regression at compile review time instead of at the next bench run.
+//
+// Flagged inside a hot function:
+//
+//   - append whose destination is not a parameter of the function.
+//     Appending into a caller-provided buffer is the builder contract
+//     (the caller sized it; see mbuf.Pool.AllocBuf) — appending to
+//     anything else may grow and allocate.
+//   - make, new, &T{...}, and slice/map literals: direct allocations.
+//   - string(b) / []byte(s) conversions: each copies.
+//   - func literals that are not immediately invoked: the closure (and
+//     everything it captures) escapes.
+//   - interface conversions at call arguments, assignments, and explicit
+//     conversions: boxing a concrete value allocates.
+//
+// Two escapes: a statement that is a direct panic(...) call is cold by
+// definition and skipped entirely, and a line carrying
+// `//lrp:coldalloc <reason>` waives its findings (used for the amortized
+// free-list refill sites, which allocate only on pool miss).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lrp/internal/analysis/framework"
+)
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "report heap allocations (append growth, conversions, closures, boxing) in //lrp:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !framework.HasDirective(fd.Doc, "lrp:hotpath") {
+				continue
+			}
+			params := paramSet(pass, fd)
+			check(pass, fd.Body, params)
+		}
+	}
+	return nil
+}
+
+// paramSet collects the function's parameter and receiver variables.
+func paramSet(pass *framework.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		addFields(fd.Recv)
+	}
+	addFields(fd.Type.Params)
+	return out
+}
+
+// check walks a hot function body, skipping whole panic statements and
+// remembering which func literals are invoked on the spot (ast.Inspect
+// visits a CallExpr before its Fun, so the set is filled in time).
+func check(pass *framework.Pass, body ast.Node, params map[*types.Var]bool) {
+	calledNow := map[*ast.FuncLit]bool{}
+	extendMake := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isBuiltin(pass, call, "panic") {
+				return false // cold by definition
+			}
+		case *ast.CallExpr:
+			if fl, ok := n.Fun.(*ast.FuncLit); ok {
+				calledNow[fl] = true
+			}
+			// append(dst, make([]T, n)...) is the zero-fill extension
+			// idiom: the compiler recognizes it and allocates nothing
+			// when dst has capacity, so the inner make is exempt.
+			if isBuiltin(pass, n, "append") && n.Ellipsis.IsValid() && len(n.Args) == 2 {
+				if mk, ok := n.Args[1].(*ast.CallExpr); ok && isBuiltin(pass, mk, "make") {
+					extendMake[mk] = true
+				}
+			}
+			if extendMake[n] {
+				return true
+			}
+			return checkCall(pass, n, params)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in a hot path")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "%s literal allocates its backing store in a hot path", kindName(tv.Type))
+			}
+		case *ast.FuncLit:
+			if !calledNow[n] {
+				pass.Reportf(n.Pos(), "func literal may escape and allocate (the closure and its captures) in a hot path")
+			}
+			return false // the literal's own body is a different function
+		case *ast.AssignStmt:
+			checkBoxingAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkCall handles the call-shaped checks; it returns false when the
+// walk should not descend (the default walker would revisit children).
+func checkCall(pass *framework.Pass, call *ast.CallExpr, params map[*types.Var]bool) bool {
+	// Type conversions.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, call, tv.Type)
+		return true
+	}
+	switch {
+	case isBuiltin(pass, call, "append"):
+		if len(call.Args) > 0 && !isParamExpr(pass, call.Args[0], params) {
+			pass.Reportf(call.Pos(), "append may grow and allocate in a hot path: preallocate capacity, or append into a caller-sized parameter buffer")
+		}
+		return true
+	case isBuiltin(pass, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in a hot path")
+		return true
+	case isBuiltin(pass, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in a hot path")
+		return true
+	}
+	checkBoxingCall(pass, call)
+	return true
+}
+
+// checkConversion flags string<->[]byte copies and interface boxing via
+// explicit conversion.
+func checkConversion(pass *framework.Pass, call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	fromTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from := fromTV.Type
+	if isString(to) && isByteSlice(from) || isByteSlice(to) && isString(from) {
+		pass.Reportf(call.Pos(), "%s(%s) conversion copies in a hot path", kindName(to), kindName(from))
+		return
+	}
+	if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) {
+		pass.Reportf(call.Pos(), "conversion to interface boxes (allocates) in a hot path")
+	}
+}
+
+// checkBoxingCall flags concrete arguments passed to interface parameters.
+func checkBoxingCall(pass *framework.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // []T passed whole, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if at.IsNil() || types.IsInterface(at.Type.Underlying()) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing concrete %s to interface parameter boxes (allocates) in a hot path", at.Type.String())
+	}
+}
+
+// checkBoxingAssign flags assigning a concrete value to an interface
+// variable.
+func checkBoxingAssign(pass *framework.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt, ok := pass.TypesInfo.Types[lhs]
+		if !ok || lt.Type == nil || !types.IsInterface(lt.Type.Underlying()) {
+			continue
+		}
+		rt, ok := pass.TypesInfo.Types[as.Rhs[i]]
+		if !ok || rt.Type == nil || rt.IsNil() || types.IsInterface(rt.Type.Underlying()) {
+			continue
+		}
+		pass.Reportf(as.Rhs[i].Pos(), "assigning concrete %s to interface boxes (allocates) in a hot path", rt.Type.String())
+	}
+}
+
+// isParamExpr reports whether e denotes (a slice of) a parameter or
+// receiver variable, e.g. `b` or `b[:n]`. Only direct parameter
+// identifiers qualify: appending to a field (even of the receiver) grows
+// owned state and must be reported or explicitly waived.
+func isParamExpr(pass *framework.Pass, e ast.Expr, params map[*types.Var]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+				return params[v]
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// isBuiltin matches a direct call to the named builtin.
+func isBuiltin(pass *framework.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// kindName prints a type compactly for diagnostics.
+func kindName(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if isByteSlice(t) {
+			return "[]byte"
+		}
+		_ = u
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Basic:
+		return u.Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"lrp/internal/analysis/analysistest"
+	"lrp/internal/analysis/hotalloc"
+)
+
+// TestHotPathAllocations drives every allocation rule and every escape:
+// the zero-fill append idiom, parameter-buffer appends, panic coldness,
+// //lrp:coldalloc waivers, and unannotated functions staying unchecked.
+func TestHotPathAllocations(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/hotfix", "lrp/internal/core")
+}

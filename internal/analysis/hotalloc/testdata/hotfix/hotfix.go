@@ -1,0 +1,90 @@
+// Package hotfix exercises the hotalloc analyzer: only functions whose doc
+// comment carries //lrp:hotpath are checked, and every allocating construct
+// inside one is a finding unless waived.
+package hotfix
+
+import "fmt"
+
+type stateT struct{ buf []byte }
+
+// builder covers the append and direct-allocation rules.
+//
+//lrp:hotpath
+func builder(dst []byte, n int) []byte {
+	dst = append(dst, make([]byte, n)...) // zero-fill extension idiom: exempt
+	dst = append(dst[:0], dst...)         // appending into a parameter: exempt
+	var local []byte
+	local = append(local, dst...) // want `append may grow and allocate`
+	_ = local
+	buf := make([]byte, n) // want `make allocates`
+	_ = buf
+	p := new(int) // want `new allocates`
+	_ = p
+	s := &stateT{} // want `&composite literal allocates`
+	_ = s
+	sl := []int{1, 2} // want `slice literal allocates`
+	_ = sl
+	mp := map[string]int{} // want `map literal allocates`
+	_ = mp
+	return dst
+}
+
+// fill appends into owned state, not a parameter: still a finding.
+//
+//lrp:hotpath
+func (s *stateT) fill(b []byte) {
+	s.buf = append(s.buf, b...) // want `append may grow and allocate`
+}
+
+// convert covers the copying conversions.
+//
+//lrp:hotpath
+func convert(s string, b []byte) (string, []byte) {
+	x := string(b) // want `conversion copies`
+	y := []byte(s) // want `conversion copies`
+	return x, y
+}
+
+func sink(v any) { _ = v }
+
+// boxing covers interface conversions at calls, assignments, and explicit
+// conversions.
+//
+//lrp:hotpath
+func boxing(n int) {
+	sink(n) // want `passing concrete int to interface parameter boxes`
+	var i any
+	i = n // want `assigning concrete int to interface boxes`
+	_ = i
+	j := any(n) // want `conversion to interface boxes`
+	_ = j
+}
+
+// closures: immediately-invoked literals run on the stack; stored ones
+// escape with their captures.
+//
+//lrp:hotpath
+func closures(xs []int) int {
+	total := 0
+	func() { total++ }()
+	fn := func() { total += 2 } // want `func literal may escape`
+	fn()
+	return total
+}
+
+// guarded covers the two escapes: panic statements are cold by definition,
+// and a line waived with //lrp:coldalloc is accepted.
+//
+//lrp:hotpath
+func guarded(n int) []byte {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+	b := make([]byte, n) //lrp:coldalloc refill path, amortized over the pool lifetime
+	return b
+}
+
+// cold is not annotated: nothing here is checked.
+func cold(n int) []byte {
+	return append(make([]byte, 0, n), byte(n))
+}

@@ -1,0 +1,49 @@
+// Package lrplint bundles the repository's analyzers into one runnable
+// suite, shared by cmd/lrplint and the analyzer tests.
+package lrplint
+
+import (
+	"fmt"
+	"io"
+
+	"lrp/internal/analysis/determinism"
+	"lrp/internal/analysis/eventhandle"
+	"lrp/internal/analysis/framework"
+	"lrp/internal/analysis/hotalloc"
+	"lrp/internal/analysis/mbufown"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		determinism.Analyzer,
+		mbufown.Analyzer,
+		eventhandle.Analyzer,
+		hotalloc.Analyzer,
+	}
+}
+
+// Run loads the packages matched by patterns (relative to the module
+// containing dir), applies the suite, and writes diagnostics to w. It
+// returns the number of findings.
+func Run(dir string, patterns []string, w io.Writer) (int, error) {
+	loader, err := framework.NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags, err := framework.Run(pkgs, Analyzers())
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,592 @@
+// Package mbufown mechanically checks the mbuf ownership protocol that the
+// allocation-free packet cycle depends on (see internal/mbuf):
+//
+//   - an mbuf put in flight with BeginTransfer must, on every path through
+//     the function, be released with EndTransfer or handed to another owner
+//     (passed to a call, captured by a closure, stored, or returned).
+//     A path that simply drops the handle leaks the struct and its storage
+//     out of the recycling cycle.
+//   - Free must not follow Detach or BeginTransfer on the same mbuf: both
+//     hand the release duty elsewhere (the wire reference releases with
+//     EndTransfer), and Free at that point either double-releases pool
+//     accounting or silently skips the wire-reference bookkeeping.
+//   - once an mbuf has been released (Free or EndTransfer), neither the
+//     mbuf nor any variable previously bound to its Data bytes may be
+//     used: the storage may already back an unrelated packet. Bytes taken
+//     with Detach are exempt — Detach exists precisely to let delivered
+//     data outlive the mbuf.
+//
+// The analysis is intraprocedural and flow-sensitive over structured
+// control flow (if/for/switch), tracking mbuf-typed local variables by
+// their type object. It is deliberately conservative: passing an mbuf to
+// any call transfers ownership, so cross-function protocols (a NIC
+// beginning a transfer that the network layer ends) never misreport.
+package mbufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lrp/internal/analysis/framework"
+)
+
+// Analyzer is the mbuf ownership check.
+var Analyzer = &framework.Analyzer{
+	Name: "mbufown",
+	Doc:  "check mbuf ownership protocol: BeginTransfer/EndTransfer pairing, Free-after-Detach, use-after-release",
+	Run:  run,
+}
+
+const mbufPkg = "lrp/internal/mbuf"
+
+func run(pass *framework.Pass) error {
+	// The mbuf package itself implements the protocol and may touch
+	// released storage (recycle does, on purpose).
+	if pass.PkgPath == mbufPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					newChecker(pass).checkFunc(fn.Body)
+				}
+			case *ast.FuncLit:
+				newChecker(pass).checkFunc(fn.Body)
+				return false // checkFunc descends into nested literals itself
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ownState is the abstract state of one tracked mbuf variable.
+type ownState struct {
+	inflight token.Pos // BeginTransfer site with an open release obligation
+	released token.Pos // Free/EndTransfer site
+	detached bool
+	freeSeen token.Pos // Free site (for double-protocol reporting)
+}
+
+// pathState is the per-path abstract store.
+type pathState struct {
+	vars    map[*types.Var]*ownState
+	aliases map[*types.Var]*types.Var // data variable -> mbuf variable
+	dead    bool                      // path ended (return/panic)
+}
+
+func newPathState() *pathState {
+	return &pathState{vars: map[*types.Var]*ownState{}, aliases: map[*types.Var]*types.Var{}}
+}
+
+func (st *pathState) clone() *pathState {
+	c := newPathState()
+	c.dead = st.dead
+	for v, s := range st.vars {
+		cp := *s
+		c.vars[v] = &cp
+	}
+	for a, m := range st.aliases {
+		c.aliases[a] = m
+	}
+	return c
+}
+
+// merge folds other into st as the join of two control-flow paths. Dead
+// paths contribute nothing. The join is "may": a variable possibly
+// released on one branch is treated as released, which matches how the
+// reports are phrased (on some path).
+func (st *pathState) merge(other *pathState) {
+	if other.dead {
+		return
+	}
+	if st.dead {
+		*st = *other.clone()
+		return
+	}
+	for v, o := range other.vars {
+		s, ok := st.vars[v]
+		if !ok {
+			cp := *o
+			st.vars[v] = &cp
+			continue
+		}
+		if s.inflight == token.NoPos {
+			s.inflight = o.inflight
+		}
+		if s.released == token.NoPos {
+			s.released = o.released
+		}
+		if s.freeSeen == token.NoPos {
+			s.freeSeen = o.freeSeen
+		}
+		s.detached = s.detached || o.detached
+	}
+	for a, m := range other.aliases {
+		if _, ok := st.aliases[a]; !ok {
+			st.aliases[a] = m
+		}
+	}
+}
+
+type checker struct {
+	pass     *framework.Pass
+	reported map[token.Pos]bool
+}
+
+func newChecker(pass *framework.Pass) *checker {
+	return &checker{pass: pass, reported: map[token.Pos]bool{}}
+}
+
+func (c *checker) reportOnce(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// checkFunc analyzes one function body from a fresh state and checks
+// release obligations at every exit.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	st := newPathState()
+	c.stmts(body.List, st)
+	c.exitCheck(st)
+}
+
+// exitCheck fires the leak diagnostics for obligations still open when a
+// path leaves the function.
+func (c *checker) exitCheck(st *pathState) {
+	if st.dead {
+		return
+	}
+	for _, s := range st.vars {
+		if s.inflight != token.NoPos {
+			c.reportOnce(s.inflight,
+				"BeginTransfer without a matching EndTransfer on every path: the in-flight mbuf (and its storage) leaks out of the recycling cycle")
+		}
+	}
+}
+
+func (c *checker) stmts(list []ast.Stmt, st *pathState) {
+	for _, s := range list {
+		if st.dead {
+			return
+		}
+		c.stmt(s, st)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, st *pathState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(c.pass, call) {
+			st.dead = true
+			return
+		}
+		c.expr(s.X, st)
+	case *ast.AssignStmt:
+		c.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, st)
+		}
+		c.exitCheck(st)
+		st.dead = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.expr(s.Cond, st)
+		then := st.clone()
+		c.stmts(s.Body.List, then)
+		els := st.clone()
+		if s.Else != nil {
+			c.stmt(s.Else, els)
+		}
+		*st = *then
+		st.merge(els)
+	case *ast.BlockStmt:
+		c.stmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, st)
+		}
+		c.loopBody(s.Body, s.Post, st, s.Cond == nil)
+	case *ast.RangeStmt:
+		c.expr(s.X, st)
+		c.loopBody(s.Body, nil, st, false)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, st)
+		}
+		c.switchBody(s.Body, st, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.switchBody(s.Body, st, hasDefault(s.Body))
+	case *ast.DeferStmt:
+		c.deferred(s.Call, st)
+	case *ast.GoStmt:
+		c.expr(s.Call, st)
+	case *ast.SendStmt:
+		c.expr(s.Chan, st)
+		c.expr(s.Value, st)
+	case *ast.IncDecStmt:
+		c.expr(s.X, st)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as ending this straight-line segment.
+		// Obligations are still checked at function exits reached through
+		// the merged loop-exit state.
+		st.dead = true
+	}
+}
+
+// loopBody analyzes a loop body twice so state created in iteration one
+// (e.g. a release at the bottom) is visible at the top of iteration two,
+// then merges the body exit into the fall-through state. infinite marks
+// `for {}` loops, whose fall-through is unreachable unless the body can
+// break (approximated by merging anyway — conservative but simple).
+func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *pathState, infinite bool) {
+	entry := st.clone()
+	for i := 0; i < 2; i++ {
+		iter := entry.clone()
+		iter.dead = false
+		c.stmts(body.List, iter)
+		if post != nil && !iter.dead {
+			c.stmt(post, iter)
+		}
+		entry.merge(iter)
+	}
+	if infinite {
+		// Fall-through only via break; approximate with the body state.
+		*st = *entry
+		return
+	}
+	st.merge(entry)
+}
+
+func (c *checker) switchBody(body *ast.BlockStmt, st *pathState, hasDefault bool) {
+	merged := newPathState()
+	merged.dead = true
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := st.clone()
+		for _, e := range cc.List {
+			c.expr(e, branch)
+		}
+		c.stmts(cc.Body, branch)
+		merged.merge(branch)
+	}
+	if !hasDefault {
+		merged.merge(st)
+	}
+	*st = *merged
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// deferred handles `defer x.Free()` / `defer x.EndTransfer()`: the release
+// is guaranteed at exit, so the obligation clears, but the bytes stay
+// usable for the rest of the body.
+func (c *checker) deferred(call *ast.CallExpr, st *pathState) {
+	if v, name, ok := c.protocolCall(call); ok && (name == "Free" || name == "EndTransfer") {
+		if s := st.vars[v]; s != nil {
+			s.inflight = token.NoPos
+		}
+		return
+	}
+	c.expr(call, st)
+}
+
+// assign processes an assignment: RHS effects first, then LHS rebinding.
+func (c *checker) assign(s *ast.AssignStmt, st *pathState) {
+	// b := m.Data and b := m.Detach() get alias treatment when the RHS is
+	// exactly that expression.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if lhs, ok := s.Lhs[0].(*ast.Ident); ok {
+			if mv, isData := c.mbufDataExpr(s.Rhs[0], st); isData {
+				if av := c.localVar(lhs); av != nil {
+					st.aliases[av] = mv
+					delete(st.vars, av)
+					return
+				}
+			}
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				if v, name, ok := c.protocolCall(call); ok && name == "Detach" {
+					// Detached bytes are caller-owned: no alias tracking,
+					// but record the Detach on the mbuf.
+					c.transition(v, name, call, st)
+					if av := c.localVar(lhs); av != nil {
+						delete(st.aliases, av)
+						delete(st.vars, av)
+					}
+					return
+				}
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		c.expr(r, st)
+	}
+	for _, l := range s.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if v := c.localVar(id); v != nil {
+				// Rebinding kills previous tracking for this name.
+				delete(st.vars, v)
+				delete(st.aliases, v)
+				continue
+			}
+		}
+		// Compound LHS (m.Data = ..., q[i] = ...): treat as a use.
+		c.expr(l, st)
+	}
+}
+
+// expr walks an expression, applying protocol transitions and reporting
+// uses of released mbufs or their bytes.
+func (c *checker) expr(e ast.Expr, st *pathState) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		if v, name, ok := c.protocolCall(e); ok {
+			c.transition(v, name, e, st)
+			return
+		}
+		c.expr(e.Fun, st)
+		for _, a := range e.Args {
+			// Passing a tracked mbuf to any call transfers ownership.
+			if id, ok := a.(*ast.Ident); ok {
+				if v := c.localVar(id); v != nil && c.isMbufVar(v) {
+					c.useVar(v, id.Pos(), st)
+					if s := st.vars[v]; s != nil {
+						s.inflight = token.NoPos
+					}
+					continue
+				}
+			}
+			c.expr(a, st)
+		}
+	case *ast.FuncLit:
+		// Capturing a tracked mbuf hands it to the closure.
+		for v, s := range st.vars {
+			if capturesVar(c.pass, e, v) {
+				s.inflight = token.NoPos
+			}
+		}
+		newChecker(c.pass).checkFunc(e.Body)
+	case *ast.Ident:
+		if v := c.localVar(e); v != nil {
+			c.useVar(v, e.Pos(), st)
+			if mv, ok := st.aliases[v]; ok {
+				c.useAlias(v, mv, e.Pos(), st)
+			}
+		}
+	case *ast.SelectorExpr:
+		c.expr(e.X, st)
+	case *ast.BinaryExpr:
+		c.expr(e.X, st)
+		c.expr(e.Y, st)
+	case *ast.UnaryExpr:
+		c.expr(e.X, st)
+	case *ast.ParenExpr:
+		c.expr(e.X, st)
+	case *ast.StarExpr:
+		c.expr(e.X, st)
+	case *ast.IndexExpr:
+		c.expr(e.X, st)
+		c.expr(e.Index, st)
+	case *ast.SliceExpr:
+		c.expr(e.X, st)
+		c.expr(e.Low, st)
+		c.expr(e.High, st)
+		c.expr(e.Max, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.expr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		c.expr(e.Value, st)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X, st)
+	}
+}
+
+// useVar reports a use of an mbuf variable whose storage was released.
+func (c *checker) useVar(v *types.Var, pos token.Pos, st *pathState) {
+	s := st.vars[v]
+	if s == nil || s.released == token.NoPos {
+		return
+	}
+	c.reportOnce(pos, "use of mbuf %q after it was released (Free/EndTransfer): the struct and storage may already back another packet", v.Name())
+}
+
+// useAlias reports a use of bytes that died with their mbuf's release.
+func (c *checker) useAlias(alias, m *types.Var, pos token.Pos, st *pathState) {
+	s := st.vars[m]
+	if s == nil || s.released == token.NoPos || s.detached {
+		return
+	}
+	c.reportOnce(pos, "use of %q, the backing bytes of mbuf %q, after release: Detach the data first if it must outlive the mbuf", alias.Name(), m.Name())
+}
+
+// transition applies one protocol method call to the state machine.
+func (c *checker) transition(v *types.Var, name string, call *ast.CallExpr, st *pathState) {
+	s := st.vars[v]
+	if s == nil {
+		s = &ownState{}
+		st.vars[v] = s
+	}
+	if s.released != token.NoPos {
+		c.reportOnce(call.Pos(), "%s on mbuf %q after it was already released: the storage may back another packet", name, v.Name())
+		return
+	}
+	switch name {
+	case "BeginTransfer":
+		if s.inflight != token.NoPos {
+			c.reportOnce(call.Pos(), "second BeginTransfer on mbuf %q: pool accounting would be released twice", v.Name())
+			return
+		}
+		s.inflight = call.Pos()
+	case "EndTransfer":
+		s.inflight = token.NoPos
+		s.released = call.Pos()
+	case "Free":
+		if s.detached {
+			c.reportOnce(call.Pos(), "Free on mbuf %q after Detach: detached buffers ride the transfer protocol; release the struct with EndTransfer", v.Name())
+		} else if s.inflight != token.NoPos {
+			c.reportOnce(call.Pos(), "Free on mbuf %q after BeginTransfer: an in-flight mbuf must be released with EndTransfer, Free skips the wire-reference bookkeeping", v.Name())
+		}
+		s.inflight = token.NoPos
+		s.released = call.Pos()
+		s.freeSeen = call.Pos()
+	case "Detach":
+		s.detached = true
+	}
+}
+
+// protocolCall matches x.<Free|Detach|BeginTransfer|EndTransfer|AddRef>()
+// where x is an identifier of type *mbuf.Mbuf, returning its variable.
+func (c *checker) protocolCall(call *ast.CallExpr) (*types.Var, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Free", "Detach", "BeginTransfer", "EndTransfer":
+	default:
+		return nil, "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	v := c.localVar(id)
+	if v == nil || !c.isMbufVar(v) {
+		return nil, "", false
+	}
+	return v, sel.Sel.Name, true
+}
+
+// mbufDataExpr matches `x.Data` for a tracked mbuf variable x.
+func (c *checker) mbufDataExpr(e ast.Expr, st *pathState) (*types.Var, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Data" {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v := c.localVar(id)
+	if v == nil || !c.isMbufVar(v) {
+		return nil, false
+	}
+	return v, true
+}
+
+// localVar resolves an identifier to the variable it uses or defines.
+func (c *checker) localVar(id *ast.Ident) *types.Var {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isMbufVar reports whether v's type is *mbuf.Mbuf (or mbuf.Mbuf).
+func (c *checker) isMbufVar(v *types.Var) bool {
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Mbuf" && obj.Pkg() != nil && obj.Pkg().Path() == mbufPkg
+}
+
+// capturesVar reports whether the function literal references v.
+func capturesVar(pass *framework.Pass, fl *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isPanic matches a direct call to the panic builtin.
+func isPanic(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,16 @@
+package mbufown_test
+
+import (
+	"testing"
+
+	"lrp/internal/analysis/analysistest"
+	"lrp/internal/analysis/mbufown"
+)
+
+// TestOwnershipProtocol drives the state machine over testdata posing as a
+// protocol-layer package. It includes the acceptance demonstration (an
+// unpaired BeginTransfer fails) and the required negative case (Detach
+// followed by caller-owned reuse of the bytes passes).
+func TestOwnershipProtocol(t *testing.T) {
+	analysistest.Run(t, mbufown.Analyzer, "testdata/mbufguard", "lrp/internal/core")
+}

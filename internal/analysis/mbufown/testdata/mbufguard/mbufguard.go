@@ -1,0 +1,114 @@
+// Package mbufguard poses as "lrp/internal/core" in the mbufown analyzer's
+// tests, exercising the ownership state machine against the real
+// lrp/internal/mbuf types.
+package mbufguard
+
+import "lrp/internal/mbuf"
+
+// leak is the acceptance demonstration: an unpaired BeginTransfer fails.
+func leak(p *mbuf.Pool, b []byte) {
+	m := p.AllocCopy(b)
+	if m == nil {
+		return
+	}
+	m.BeginTransfer() // want `BeginTransfer without a matching EndTransfer on every path`
+}
+
+// leakOnOnePath: pairing must hold on EVERY path, not just the slow one.
+func leakOnOnePath(p *mbuf.Pool, b []byte, slow bool) {
+	m := p.AllocCopy(b)
+	m.BeginTransfer() // want `BeginTransfer without a matching EndTransfer on every path`
+	if slow {
+		m.EndTransfer()
+	}
+}
+
+// balanced transfers are clean.
+func balanced(p *mbuf.Pool, b []byte) {
+	m := p.AllocCopy(b)
+	m.BeginTransfer()
+	m.EndTransfer()
+}
+
+// branchBalanced: every path releases, including early returns.
+func branchBalanced(p *mbuf.Pool, b []byte, slow bool) {
+	m := p.AllocCopy(b)
+	m.BeginTransfer()
+	if slow {
+		m.EndTransfer()
+		return
+	}
+	m.EndTransfer()
+}
+
+// deferredRelease: a deferred EndTransfer discharges the obligation.
+func deferredRelease(p *mbuf.Pool, b []byte) {
+	m := p.AllocCopy(b)
+	m.BeginTransfer()
+	defer m.EndTransfer()
+}
+
+// handOff: passing the mbuf to a callee transfers the obligation with it.
+func handOff(p *mbuf.Pool, b []byte, deliver func(*mbuf.Mbuf)) {
+	m := p.AllocCopy(b)
+	m.BeginTransfer()
+	deliver(m)
+}
+
+// doubleBegin releases the pool accounting twice.
+func doubleBegin(p *mbuf.Pool, b []byte) {
+	m := p.AllocCopy(b)
+	m.BeginTransfer()
+	m.BeginTransfer() // want `second BeginTransfer on mbuf "m"`
+	m.EndTransfer()
+}
+
+// freeAfterDetach: a detached mbuf's struct is released with EndTransfer.
+func freeAfterDetach(p *mbuf.Pool, b []byte) []byte {
+	m := p.AllocCopy(b)
+	data := m.Detach()
+	m.Free() // want `Free on mbuf "m" after Detach`
+	return data
+}
+
+// detachReuse is the required negative case: Detach hands the bytes to the
+// caller, and using them after the mbuf is released is fine.
+func detachReuse(p *mbuf.Pool, b []byte) []byte {
+	m := p.AllocCopy(b)
+	m.BeginTransfer()
+	data := m.Detach()
+	m.EndTransfer()
+	data[0] = 1 // caller-owned bytes stay valid after release
+	return data
+}
+
+// freeInFlight skips the wire-reference bookkeeping.
+func freeInFlight(p *mbuf.Pool, b []byte) {
+	m := p.AllocCopy(b)
+	m.BeginTransfer()
+	m.Free() // want `Free on mbuf "m" after BeginTransfer`
+}
+
+// useAfterFree touches the struct once the pool may have recycled it.
+func useAfterFree(p *mbuf.Pool, b []byte) int {
+	m := p.AllocCopy(b)
+	m.Free()
+	return m.Len() // want `use of mbuf "m" after it was released`
+}
+
+// useBytesAfterFree touches the backing array after recycling.
+func useBytesAfterFree(p *mbuf.Pool, raw []byte) byte {
+	m := p.AllocCopy(raw)
+	b := m.Data
+	m.Free()
+	return b[0] // want `use of "b", the backing bytes of mbuf "m", after release`
+}
+
+// useBeforeFree is clean: reads precede the release.
+func useBeforeFree(p *mbuf.Pool, raw []byte) byte {
+	m := p.AllocCopy(raw)
+	b := m.Data
+	v := b[0]
+	m.Free()
+	return v
+}

@@ -575,3 +575,55 @@ func TestRedundantPCBLookupCostsMore(t *testing.T) {
 		t.Fatalf("redundant PCB lookup did not cost more: %d vs %d", redundant, plain)
 	}
 }
+
+// Regression for the unregisterFilter rewrite: handle compaction used to
+// range over the filterProgs map; it now walks the insertion-ordered
+// socket list. After closing sockets in the middle of the filter list,
+// every surviving socket's stored handle must still agree with the
+// compacted filter table, i.e. packets keep classifying to the right
+// socket.
+func TestUnregisterFilterCompactsHandles(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := netsim.New(eng)
+	h := NewHost(eng, nw, Config{Name: "h", Addr: addrB, Arch: ArchSoftLRP, FilterDemux: true})
+	defer h.Shutdown()
+
+	ports := []uint16{1001, 1002, 1003, 1004, 1005}
+	socks := make([]*socket.Socket, len(ports))
+	h.K.Spawn("setup", 0, func(p *kernel.Proc) {
+		for i, port := range ports {
+			s := h.NewUDPSocket(p)
+			if err := h.BindUDP(s, port); err != nil {
+				t.Error(err)
+				return
+			}
+			socks[i] = s
+		}
+		// Close two sockets in the middle: both compact the handles of
+		// everything bound after them.
+		h.CloseUDP(p, socks[1])
+		h.CloseUDP(p, socks[3])
+	})
+	eng.RunFor(sim.Second)
+
+	if n := h.filterDemux.Len(); n != 3 {
+		t.Fatalf("filter entries = %d, want 3", n)
+	}
+	for i, s := range socks {
+		b := pkt.UDPPacket(addrA, addrB, 9999, ports[i], 1, 64, []byte("x"), false)
+		ep, ok, _ := h.filterDemux.Classify(b)
+		if i == 1 || i == 3 {
+			if ok {
+				t.Fatalf("port %d: closed socket still classified", ports[i])
+			}
+			continue
+		}
+		if !ok || ep != s {
+			t.Fatalf("port %d: classify ok=%v ep=%p, want socket %p", ports[i], ok, ep, s)
+		}
+		hd, present := h.filterProgs[s]
+		if !present || hd < 0 || hd >= h.filterDemux.Len() {
+			t.Fatalf("port %d: stored handle %d out of sync with table of %d", ports[i], hd, h.filterDemux.Len())
+		}
+	}
+}

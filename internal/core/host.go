@@ -308,8 +308,10 @@ func (h *Host) unregisterFilter(s *socket.Socket) {
 	}
 	h.filterDemux.Unbind(hd)
 	delete(h.filterProgs, s)
-	for other, oh := range h.filterProgs {
-		if oh > hd {
+	// Walk the (insertion-ordered) socket list rather than ranging the
+	// map: sim-core code must not depend on map iteration order.
+	for _, other := range h.sockets {
+		if oh, ok := h.filterProgs[other]; ok && oh > hd {
 			h.filterProgs[other] = oh - 1
 		}
 	}

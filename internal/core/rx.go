@@ -107,6 +107,8 @@ func (h *Host) niDemuxProcess(m *mbuf.Mbuf) {
 // demuxDeliver classifies a packet and places it on the right NI channel
 // (or socket queue for Early-Demux). Runs in host interrupt context
 // (SOFT-LRP, Early-Demux) or on the NIC processor (NI-LRP).
+//
+//lrp:hotpath
 func (h *Host) demuxDeliver(m *mbuf.Mbuf) {
 	sock, v := h.pcbs.Classify(m.Data, h.Eng.Now())
 	if (v == demux.Match || v == demux.NoMatch) && h.forwarding && h.isForeign(m.Data) {
@@ -115,16 +117,22 @@ func (h *Host) demuxDeliver(m *mbuf.Mbuf) {
 		h.deliverForeign(m)
 		return
 	}
-	h.Trace.Add(trace.KindDemux, "%s: verdict=%v", h.Name, v)
+	if h.Trace != nil {
+		h.Trace.Add(trace.KindDemux, "%s: verdict=%v", h.Name, v) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+	}
 	switch v {
 	case demux.Malformed:
 		h.stats.MalformedDrops++
-		h.Trace.Add(trace.KindDrop, "%s: malformed", h.Name)
+		if h.Trace != nil {
+			h.Trace.Add(trace.KindDrop, "%s: malformed", h.Name) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+		}
 		m.Free()
 		return
 	case demux.NoMatch:
 		h.stats.NoMatchDrops++
-		h.Trace.Add(trace.KindDrop, "%s: no endpoint", h.Name)
+		if h.Trace != nil {
+			h.Trace.Add(trace.KindDrop, "%s: no endpoint", h.Name) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+		}
 		m.Free()
 		return
 	case demux.FragMiss:
@@ -148,7 +156,9 @@ func (h *Host) demuxDeliver(m *mbuf.Mbuf) {
 	}
 	wasEmpty, ok := ch.Deliver(m)
 	if !ok {
-		h.Trace.Add(trace.KindDrop, "%s: early discard at channel port %d", h.Name, sock.LPort)
+		if h.Trace != nil {
+			h.Trace.Add(trace.KindDrop, "%s: early discard at channel port %d", h.Name, sock.LPort) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+		}
 		return // early discard (counted on the channel)
 	}
 	if wasEmpty && ch.IntrRequested {
@@ -273,6 +283,8 @@ func isSYN(b []byte) bool {
 // before buffer recycling); the storage is recycled at the end, once
 // nothing references the raw bytes. Only delivered UDP payload outlives
 // this function, and that path detaches the storage first.
+//
+//lrp:hotpath
 func (h *Host) protoInput(m *mbuf.Mbuf, sockHint *socket.Socket) {
 	b := m.Data
 	arrival := m.Arrival
@@ -327,6 +339,8 @@ func aliases(x, b []byte) bool {
 
 // udpInput validates a UDP datagram and appends it to the destination
 // socket queue.
+//
+//lrp:hotpath
 func (h *Host) udpInput(ih *pkt.IPv4Header, seg []byte, arrival int64, sock *socket.Socket) {
 	uh, err := pkt.DecodeUDP(seg, ih.Src, ih.Dst)
 	if err != nil {
@@ -361,10 +375,14 @@ func (h *Host) udpInput(ih *pkt.IPv4Header, seg []byte, arrival int64, sock *soc
 		return
 	}
 	if !sock.RecvDgrams.Enqueue(d) {
-		h.Trace.Add(trace.KindDrop, "%s: socket queue overflow port %d", h.Name, sock.LPort)
+		if h.Trace != nil {
+			h.Trace.Add(trace.KindDrop, "%s: socket queue overflow port %d", h.Name, sock.LPort) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+		}
 		return // socket queue overflow (counted on the queue)
 	}
-	h.Trace.Add(trace.KindDeliver, "%s: udp %d bytes -> port %d", h.Name, len(d.Data), sock.LPort)
+	if h.Trace != nil {
+		h.Trace.Add(trace.KindDeliver, "%s: udp %d bytes -> port %d", h.Name, len(d.Data), sock.LPort) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+	}
 	sock.Stats.RxDelivered++
 	sock.Stats.RxBytes += uint64(len(d.Data))
 	sock.RcvWait.WakeupAll()

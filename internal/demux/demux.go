@@ -95,6 +95,11 @@ type Table[E any] struct {
 	proto  map[byte]E // proxy endpoints for ICMP etc.
 	frags  map[fragKey]fragEntry[E]
 
+	// fragOrder lists frag keys in insertion order so the purge scan is
+	// deterministic (sim-core code must not range over maps). A key
+	// deleted via DropFrag leaves a tombstone here; purge compacts it.
+	fragOrder []fragKey
+
 	// Stats
 	Lookups    uint64
 	FragHits   uint64
@@ -211,6 +216,9 @@ func (t *Table[E]) classifyFragment(b []byte, ih *pkt.IPv4Header, hlen int, now 
 	if ih.FragOff == 0 {
 		e, verdict := t.classifyTransport(b[hlen:], ih)
 		if verdict == Match || verdict == OtherProto {
+			if _, exists := t.frags[key]; !exists {
+				t.fragOrder = append(t.fragOrder, key)
+			}
 			t.frags[key] = fragEntry[E]{ep: e, expires: now + fragTTL}
 			t.maybePurgeFrags(now)
 		}
@@ -225,16 +233,26 @@ func (t *Table[E]) classifyFragment(b []byte, ih *pkt.IPv4Header, hlen int, now 
 }
 
 // maybePurgeFrags opportunistically drops expired fragment mappings so the
-// map stays bounded without timers.
+// map stays bounded without timers. It scans fragOrder, not the map, so the
+// work done is identical on every run; DropFrag tombstones are compacted
+// away on the same pass.
 func (t *Table[E]) maybePurgeFrags(now int64) {
-	if len(t.frags) < 1024 {
+	if len(t.frags) < 1024 && len(t.fragOrder) < 2*len(t.frags)+1024 {
 		return
 	}
-	for k, fe := range t.frags {
+	kept := t.fragOrder[:0]
+	for _, k := range t.fragOrder {
+		fe, ok := t.frags[k]
+		if !ok {
+			continue // tombstone left by DropFrag
+		}
 		if fe.expires <= now {
 			delete(t.frags, k)
+			continue
 		}
+		kept = append(kept, k)
 	}
+	t.fragOrder = kept
 }
 
 // DropFrag removes a fragment mapping (used when reassembly completes or

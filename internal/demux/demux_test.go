@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lrp/internal/pkt"
+	"lrp/internal/race"
 )
 
 var (
@@ -198,6 +199,9 @@ func TestDropFrag(t *testing.T) {
 }
 
 func TestClassifyDoesNotAllocateOnFastPath(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
 	tb := NewTable[string]()
 	tb.BindListen(pkt.ProtoUDP, pkt.Addr{}, 7, "echo")
 	p := pkt.UDPPacket(cli, srv, 1, 7, 1, 64, []byte("x"), true)
@@ -217,6 +221,97 @@ func BenchmarkClassifyUDP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, v := tb.Classify(p, 0); v != Match {
 			b.Fatal(v)
+		}
+	}
+}
+
+// Regression for the frag-purge rewrite: the purge used to range over the
+// frags map, making the scan order (and thus any future tie-breaking
+// behavior) nondeterministic. It now walks the insertion-order key list
+// and compacts DropFrag tombstones on the same pass.
+func TestFragPurgeScansInsertionOrder(t *testing.T) {
+	tb := NewTable[int]()
+	tb.BindListen(pkt.ProtoUDP, pkt.Addr{}, 99, 7)
+	mkFrag := func(id uint16) []byte {
+		b := pkt.UDPPacket(cli, srv, 5, 99, id, 64, make([]byte, 64), false)
+		ih, _, _ := pkt.DecodeIPv4(b)
+		ih.Flags |= pkt.FlagMoreFrags
+		pkt.EncodeIPv4(b, &ih)
+		return b
+	}
+	const live = 1500
+	for id := 0; id < live; id++ {
+		if _, v := tb.Classify(mkFrag(uint16(id)), 0); v != Match {
+			t.Fatalf("first fragment %d: verdict %v", id, v)
+		}
+	}
+	// The purge threshold (1024) was crossed, but nothing had expired.
+	if len(tb.frags) != live || len(tb.fragOrder) != live {
+		t.Fatalf("frags=%d order=%d, want %d live mappings", len(tb.frags), len(tb.fragOrder), live)
+	}
+	// One insert past the TTL expires every earlier mapping in one pass;
+	// only the new mapping survives, and the order list shrinks with it.
+	if _, v := tb.Classify(mkFrag(9999), fragTTL+1); v != Match {
+		t.Fatalf("late first fragment: verdict %v", v)
+	}
+	if len(tb.frags) != 1 || len(tb.fragOrder) != 1 {
+		t.Fatalf("after purge: frags=%d order=%d, want 1", len(tb.frags), len(tb.fragOrder))
+	}
+	// The surviving mapping still resolves non-first fragments...
+	late := mkFrag(9999)
+	ih, _, _ := pkt.DecodeIPv4(late)
+	ih.FragOff = 64 / 8
+	pkt.EncodeIPv4(late, &ih)
+	if _, v := tb.Classify(late, fragTTL+2); v != Match {
+		t.Fatalf("surviving mapping: verdict %v", v)
+	}
+	// ...and a purged one misses.
+	old := mkFrag(3)
+	ih, _, _ = pkt.DecodeIPv4(old)
+	ih.FragOff = 64 / 8
+	pkt.EncodeIPv4(old, &ih)
+	if _, v := tb.Classify(old, fragTTL+2); v != FragMiss {
+		t.Fatalf("purged mapping: verdict %v, want FragMiss", v)
+	}
+}
+
+// DropFrag leaves a tombstone in the insertion-order list; the purge pass
+// must compact tombstones without disturbing live mappings.
+func TestFragOrderCompactsDropTombstones(t *testing.T) {
+	tb := NewTable[int]()
+	tb.BindListen(pkt.ProtoUDP, pkt.Addr{}, 99, 7)
+	mkFrag := func(id uint16) []byte {
+		b := pkt.UDPPacket(cli, srv, 5, 99, id, 64, make([]byte, 64), false)
+		ih, _, _ := pkt.DecodeIPv4(b)
+		ih.Flags |= pkt.FlagMoreFrags
+		pkt.EncodeIPv4(b, &ih)
+		return b
+	}
+	const n = 1200
+	const dropped = 1150
+	for id := 0; id < n; id++ {
+		tb.Classify(mkFrag(uint16(id)), 0)
+	}
+	for id := 0; id < dropped; id++ {
+		tb.DropFrag(cli, srv, uint16(id), pkt.ProtoUDP)
+	}
+	if len(tb.frags) != n-dropped {
+		t.Fatalf("frags=%d after drops, want %d", len(tb.frags), n-dropped)
+	}
+	// The next insert leaves the order list dominated by tombstones
+	// (past the 2*live+1024 compaction trigger), so the purge pass runs
+	// and compacts them; the surviving mappings keep insertion order.
+	tb.Classify(mkFrag(n), 0)
+	if len(tb.frags) != n-dropped+1 {
+		t.Fatalf("frags=%d, want %d", len(tb.frags), n-dropped+1)
+	}
+	if len(tb.fragOrder) != len(tb.frags) {
+		t.Fatalf("order=%d not compacted to frags=%d", len(tb.fragOrder), len(tb.frags))
+	}
+	for i, k := range tb.fragOrder[:10] {
+		want := uint16(dropped + i)
+		if k.id != want {
+			t.Fatalf("fragOrder[%d].id = %d, want %d (insertion order broken)", i, k.id, want)
 		}
 	}
 }

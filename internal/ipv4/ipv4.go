@@ -86,6 +86,11 @@ type partial struct {
 type Reassembler struct {
 	parts map[reasmKey]*partial
 
+	// order lists keys in insertion order so expire scans are
+	// deterministic (sim-core code must not range over maps). Keys whose
+	// datagram completed leave tombstones; expire compacts them.
+	order []reasmKey
+
 	// Completed counts datagrams fully reassembled; Expired counts
 	// partials dropped on timeout.
 	Completed uint64
@@ -117,6 +122,7 @@ func (r *Reassembler) Input(b []byte, now int64) ([]byte, bool) {
 	if p == nil {
 		p = &partial{expires: now + ReassemblyTTL}
 		r.parts[key] = p
+		r.order = append(r.order, key)
 	}
 	p.pieces = append(p.pieces, fragPiece{
 		off:  int(ih.FragOff) * 8,
@@ -176,15 +182,26 @@ func (r *Reassembler) MissingFor(src, dst pkt.Addr, id uint16, proto byte) bool 
 	return ok
 }
 
-// expire drops partial datagrams past their deadline.
+// expire drops partial datagrams past their deadline. It scans the
+// insertion-order key list, not the map, so the scan is deterministic;
+// tombstones from completed datagrams are compacted on the same pass.
 func (r *Reassembler) expire(now int64) {
 	if len(r.parts) == 0 {
+		r.order = r.order[:0]
 		return
 	}
-	for k, p := range r.parts {
+	kept := r.order[:0]
+	for _, k := range r.order {
+		p, ok := r.parts[k]
+		if !ok {
+			continue // tombstone: datagram completed
+		}
 		if p.expires <= now {
 			delete(r.parts, k)
 			r.Expired++
+			continue
 		}
+		kept = append(kept, k)
 	}
+	r.order = kept
 }

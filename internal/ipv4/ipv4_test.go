@@ -2,6 +2,7 @@ package ipv4
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -155,8 +156,12 @@ func TestFragmentHonoursDF(t *testing.T) {
 // Property: fragmentation and reassembly is the identity for any payload
 // size, in any delivery order (forward/reverse).
 func TestFragmentReassembleProperty(t *testing.T) {
+	// Largest UDP payload representable in one IPv4 datagram: TotalLen is
+	// a uint16, minus the IP and UDP headers. Sizes past it cannot be
+	// encoded, so the generated size is clamped into the valid range.
+	const maxPayload = 65535 - pkt.IPv4HeaderLen - pkt.UDPHeaderLen
 	f := func(sz uint16, reverse bool) bool {
-		n := int(sz)
+		n := int(sz) % (maxPayload + 1)
 		p := udpPacket(n)
 		frags := Fragment(p, DefaultMTU)
 		if frags == nil {
@@ -178,7 +183,55 @@ func TestFragmentReassembleProperty(t *testing.T) {
 		}
 		return false
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	// Seeded explicitly: the default quick source is wall-clock seeded,
+	// which made this test flake whenever it happened to draw an
+	// unencodable size.
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression for the expire rewrite: expiry used to range over the parts
+// map; it now walks the insertion-order key list, skipping tombstones left
+// by completed datagrams, so the scan does identical work on every run.
+func TestExpireCompactsCompletedTombstones(t *testing.T) {
+	r := NewReassembler()
+	frag := func(id uint16, size int) [][]byte {
+		p := pkt.UDPPacket(src, dst, 1000, 2000, id, 64, make([]byte, size), false)
+		return Fragment(p, DefaultMTU)
+	}
+	// Complete 40 datagrams: each leaves a tombstone in the order list.
+	for id := uint16(0); id < 40; id++ {
+		done := false
+		for _, f := range frag(id, 20000) {
+			if _, ok := r.Input(f, 0); ok {
+				done = true
+			}
+		}
+		if !done {
+			t.Fatalf("datagram %d did not complete", id)
+		}
+	}
+	if r.Completed != 40 || r.Pending() != 0 {
+		t.Fatalf("completed=%d pending=%d", r.Completed, r.Pending())
+	}
+	// Two partials started now, one started past the TTL. The late input
+	// triggers expiry: exactly the two stale partials are dropped, the
+	// tombstones are compacted, and completed datagrams are not counted.
+	r.Input(frag(100, 20000)[0], 0)
+	r.Input(frag(101, 20000)[0], 0)
+	r.Input(frag(102, 20000)[0], ReassemblyTTL+1)
+	if r.Expired != 2 {
+		t.Fatalf("expired=%d, want 2", r.Expired)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending=%d, want 1", r.Pending())
+	}
+	if len(r.order) != 1 || r.order[0].id != 102 {
+		t.Fatalf("order=%v, want exactly the surviving key (id 102)", r.order)
+	}
+	if r.MissingFor(src, dst, 100, pkt.ProtoUDP) || !r.MissingFor(src, dst, 102, pkt.ProtoUDP) {
+		t.Fatal("expiry dropped the wrong partials")
 	}
 }

@@ -239,7 +239,7 @@ func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
 	p.recomputePrio()
 	k.procs = append(k.procs, p)
 	k.addRunnable(p)
-	go procMain(p, fn)
+	go procMain(p, fn) //lrp:coroutine — parked immediately; the scheduler keeps exactly one goroutine runnable
 	k.reschedule()
 	return p
 }

@@ -71,6 +71,8 @@ func (m *Mbuf) Len() int { return len(m.Data) }
 //
 // Free recycles the struct and any owned storage, so the caller must not
 // touch the mbuf — or any Data slice it did not Detach — afterwards.
+//
+//lrp:hotpath
 func (m *Mbuf) Free() {
 	if m == nil || m.pool == nil {
 		return
@@ -88,6 +90,8 @@ func (m *Mbuf) Free() {
 // disowns the backing array so a later Free recycles only the struct. Use
 // it when delivered data outlives the mbuf (e.g. bytes handed to an
 // application datagram).
+//
+//lrp:hotpath
 func (m *Mbuf) Detach() []byte {
 	b := m.Data
 	m.buf = nil
@@ -100,6 +104,8 @@ func (m *Mbuf) Detach() []byte {
 // transmission starts (as in the pre-recycling code, which freed the mbuf
 // and kept a reference to its bytes); the storage itself is recycled by
 // EndTransfer once the last receiver has copied the packet.
+//
+//lrp:hotpath
 func (m *Mbuf) BeginTransfer() {
 	if m == nil || m.pool == nil {
 		return
@@ -115,10 +121,14 @@ func (m *Mbuf) BeginTransfer() {
 // AddRef adds one wire reference, for fanout paths that deliver the same
 // mbuf to several receivers. Each reference must be released with
 // EndTransfer.
+//
+//lrp:hotpath
 func (m *Mbuf) AddRef() { m.refs++ }
 
 // EndTransfer releases one wire reference; the final release recycles the
 // struct and storage. The accounting was already released by BeginTransfer.
+//
+//lrp:hotpath
 func (m *Mbuf) EndTransfer() {
 	if m == nil {
 		return
@@ -162,6 +172,8 @@ func NewPool(limit int) *Pool {
 // reserve performs the bounded-accounting half of every allocation. It
 // must stay byte-for-byte equivalent to the original Alloc counters: the
 // experiments assert on high-water and failure values.
+//
+//lrp:hotpath
 func (p *Pool) reserve() bool {
 	if p.limit > 0 && p.inUse >= p.limit {
 		p.failures++
@@ -176,6 +188,8 @@ func (p *Pool) reserve() bool {
 }
 
 // getMbuf returns a recycled struct or a fresh one.
+//
+//lrp:hotpath
 func (p *Pool) getMbuf() *Mbuf {
 	if n := len(p.freeM); n > 0 {
 		m := p.freeM[n-1]
@@ -185,16 +199,18 @@ func (p *Pool) getMbuf() *Mbuf {
 		m.owner = p
 		return m
 	}
-	return &Mbuf{pool: p, owner: p}
+	return &Mbuf{pool: p, owner: p} //lrp:coldalloc free-list miss; steady state pops the list
 }
 
 // getBuf returns an owned array with capacity >= n: recycled when the size
 // class has one, freshly allocated otherwise. Oversize requests get an
 // exact-size array that will not be recycled.
+//
+//lrp:hotpath
 func (p *Pool) getBuf(n int) []byte {
 	ci := classFor(n)
 	if ci < 0 {
-		return make([]byte, n)
+		return make([]byte, n) //lrp:coldalloc oversize request; deliberately not recycled
 	}
 	if fn := len(p.freeBuf[ci]); fn > 0 {
 		b := p.freeBuf[ci][fn-1]
@@ -202,22 +218,26 @@ func (p *Pool) getBuf(n int) []byte {
 		p.freeBuf[ci] = p.freeBuf[ci][:fn-1]
 		return b
 	}
-	return make([]byte, bufClasses[ci])
+	return make([]byte, bufClasses[ci]) //lrp:coldalloc size-class miss; steady state pops the class list
 }
 
 // putBuf returns an owned array to its size class. Arrays whose capacity is
 // not exactly a class size (oversize fallbacks) are dropped for the GC.
+//
+//lrp:hotpath
 func (p *Pool) putBuf(b []byte) {
 	c := cap(b)
 	for i, cs := range bufClasses {
 		if c == cs {
-			p.freeBuf[i] = append(p.freeBuf[i], b[:c])
+			p.freeBuf[i] = append(p.freeBuf[i], b[:c]) //lrp:coldalloc class list grows to high-water, then stabilizes
 			return
 		}
 	}
 }
 
 // recycle returns a released mbuf's storage and struct to the free lists.
+//
+//lrp:hotpath
 func (p *Pool) recycle(m *Mbuf) {
 	if m.buf != nil {
 		p.putBuf(m.buf)
@@ -228,12 +248,14 @@ func (p *Pool) recycle(m *Mbuf) {
 	m.refs = 0
 	m.pool = nil
 	m.owner = nil
-	p.freeM = append(p.freeM, m)
+	p.freeM = append(p.freeM, m) //lrp:coldalloc struct list grows to high-water, then stabilizes
 }
 
 // Alloc returns a buffer holding data (which the mbuf aliases; the caller
 // must not reuse it), or nil if the pool is exhausted. The aliased array is
 // never recycled — it belongs to the caller.
+//
+//lrp:hotpath
 func (p *Pool) Alloc(data []byte) *Mbuf {
 	if !p.reserve() {
 		return nil
@@ -247,6 +269,8 @@ func (p *Pool) Alloc(data []byte) *Mbuf {
 // pool is exhausted. The copy lives in pool-owned storage, so the caller
 // may reuse or recycle b immediately. Data's capacity is clipped to its
 // length: appending to it never scribbles on the recycled spare capacity.
+//
+//lrp:hotpath
 func (p *Pool) AllocCopy(b []byte) *Mbuf {
 	if !p.reserve() {
 		return nil
@@ -266,6 +290,8 @@ func (p *Pool) AllocCopy(b []byte) *Mbuf {
 //
 // Staying within n keeps the build allocation-free; exceeding it makes
 // append fall back to a fresh array (correct, but a new allocation).
+//
+//lrp:hotpath
 func (p *Pool) AllocBuf(n int) *Mbuf {
 	if !p.reserve() {
 		return nil
@@ -333,6 +359,8 @@ func (q *Queue) grow() {
 
 // Enqueue appends m, or frees it and returns false if the queue is full.
 // (Callers that must not free on failure should test Full first.)
+//
+//lrp:hotpath
 func (q *Queue) Enqueue(m *Mbuf) bool {
 	if q.Full() {
 		q.drops++
@@ -352,6 +380,8 @@ func (q *Queue) Enqueue(m *Mbuf) bool {
 }
 
 // Dequeue removes and returns the head packet, or nil if empty.
+//
+//lrp:hotpath
 func (q *Queue) Dequeue() *Mbuf {
 	if q.count == 0 {
 		return nil
@@ -367,6 +397,8 @@ func (q *Queue) Dequeue() *Mbuf {
 }
 
 // Peek returns the head packet without removing it, or nil if empty.
+//
+//lrp:hotpath
 func (q *Queue) Peek() *Mbuf {
 	if q.count == 0 {
 		return nil

@@ -1,11 +1,18 @@
 package pkt
 
-import "testing"
+import (
+	"testing"
+
+	"lrp/internal/race"
+)
 
 // TestAppendBuildersZeroAllocs pins AppendUDP and AppendTCP at zero
 // allocations per packet when the destination has capacity — the contract
 // the senders rely on when building into recycled mbuf storage.
 func TestAppendBuildersZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation disables the zero-fill append optimization")
+	}
 	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
 	payload := make([]byte, 1400)
 	buf := make([]byte, 0, 2048)

@@ -27,6 +27,8 @@ func TCPTotalLen(h *TCPHeader, payloadLen int) int {
 // paper's UDP throughput tests ran with UDP checksumming disabled). When
 // cap(dst) >= len(dst)+UDPTotalLen(len(payload)) the build allocates
 // nothing.
+//
+//lrp:hotpath
 func AppendUDP(dst []byte, src, dstAddr Addr, sport, dport uint16, id uint16, ttl byte, payload []byte, checksum bool) []byte {
 	total := UDPTotalLen(len(payload))
 	start := len(dst)
@@ -54,6 +56,8 @@ func AppendUDP(dst []byte, src, dstAddr Addr, sport, dport uint16, id uint16, tt
 // AppendTCP appends a complete IPv4/TCP segment to dst and returns the
 // extended slice. When cap(dst) >= len(dst)+TCPTotalLen(h, len(payload))
 // the build allocates nothing.
+//
+//lrp:hotpath
 func AppendTCP(dst []byte, src, dstAddr Addr, h *TCPHeader, id uint16, ttl byte, payload []byte) []byte {
 	hlen := h.HeaderLen()
 	segLen := hlen + len(payload)

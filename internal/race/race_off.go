@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package race reports whether the build has the race detector enabled.
+// Allocation-pinning tests consult Enabled to skip themselves: race
+// instrumentation legitimately changes allocation behavior (for one, it
+// disables the zero-fill append optimization), so AllocsPerRun contracts
+// only hold in uninstrumented builds.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -103,6 +103,8 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it always indicates a logic error in a simulation layer.
+//
+//lrp:hotpath
 func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -113,7 +115,7 @@ func (e *Engine) At(t Time, fn func()) Event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = &event{}
+		ev = &event{} //lrp:coldalloc free-list miss; steady state pops the list
 	}
 	ev.when = t
 	ev.seq = e.seq
@@ -126,6 +128,8 @@ func (e *Engine) At(t Time, fn func()) Event {
 // After schedules fn to run d microseconds from now. A non-positive d runs
 // the event at the current time, after any already-queued events for this
 // instant.
+//
+//lrp:hotpath
 func (e *Engine) After(d int64, fn func()) Event {
 	if d < 0 {
 		d = 0
@@ -136,6 +140,8 @@ func (e *Engine) After(d int64, fn func()) Event {
 // Cancel removes a pending event from the queue. Cancelling a zero handle,
 // or one whose event has already fired or been cancelled, is a no-op, so
 // callers may cancel unconditionally.
+//
+//lrp:hotpath
 func (e *Engine) Cancel(ev Event) {
 	if !ev.Active() {
 		return
@@ -146,15 +152,19 @@ func (e *Engine) Cancel(ev Event) {
 
 // retire returns a fired or cancelled event to the free list, bumping its
 // generation so outstanding handles go stale.
+//
+//lrp:hotpath
 func (e *Engine) retire(ev *event) {
 	ev.idx = -1
 	ev.fn = nil
 	ev.gen++
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //lrp:coldalloc free list grows to high-water, then stabilizes
 }
 
 // Step fires the next event, advancing the clock to its timestamp. It
 // returns false if the queue is empty or the engine has been stopped.
+//
+//lrp:hotpath
 func (e *Engine) Step() bool {
 	if e.stopped || e.queue.len() == 0 {
 		return false
@@ -230,12 +240,18 @@ func less(x, y *event) bool {
 	return x.seq < y.seq
 }
 
+// push inserts ev, sifting it up to its (when, seq) position.
+//
+//lrp:hotpath
 func (h *eventHeap) push(ev *event) {
 	ev.idx = len(h.a)
-	h.a = append(h.a, ev)
+	h.a = append(h.a, ev) //lrp:coldalloc heap array grows to high-water, then stabilizes
 	h.up(ev.idx)
 }
 
+// pop removes and returns the minimum event.
+//
+//lrp:hotpath
 func (h *eventHeap) pop() *event {
 	ev := h.a[0]
 	n := len(h.a) - 1
@@ -251,6 +267,8 @@ func (h *eventHeap) pop() *event {
 }
 
 // remove deletes the event at heap index i.
+//
+//lrp:hotpath
 func (h *eventHeap) remove(i int) {
 	n := len(h.a) - 1
 	ev := h.a[i]
@@ -267,6 +285,9 @@ func (h *eventHeap) remove(i int) {
 	ev.idx = -1
 }
 
+// up sifts the event at index i toward the root.
+//
+//lrp:hotpath
 func (h *eventHeap) up(i int) {
 	ev := h.a[i]
 	for i > 0 {
@@ -283,6 +304,9 @@ func (h *eventHeap) up(i int) {
 	ev.idx = i
 }
 
+// down sifts the event at index i toward the leaves.
+//
+//lrp:hotpath
 func (h *eventHeap) down(i int) {
 	ev := h.a[i]
 	n := len(h.a)
