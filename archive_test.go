@@ -1,37 +1,114 @@
 package lrp_test
 
-// Guards the checked-in full-run archive: results/lrpbench_full.json
-// must decode under the current schema and satisfy every paper-shape
-// assertion. Regenerate it with
+// Guards the checked-in archives: results/lrpbench_full.{txt,json}
+// (the canonical eight-experiment suite) and
+// results/lrpbench_faults.{txt,json} (the fault robustness curves).
+// The JSON must decode under the current schema and satisfy every
+// shape assertion, and — because results are a pure function of config
+// and seed — an in-process re-run must reproduce both files
+// byte-for-byte. Regenerate with
 //
 //	go run ./cmd/lrpbench -out results/lrpbench_full.json all > results/lrpbench_full.txt
+//	go run ./cmd/lrpbench -out results/lrpbench_faults.json faults > results/lrpbench_faults.txt
 //
 // whenever a change legitimately moves the numbers.
 
 import (
+	"bytes"
 	"os"
 	"testing"
 
+	"lrp/internal/exp"
+	"lrp/internal/race"
+	"lrp/internal/render"
 	"lrp/internal/results"
 )
 
-func TestFullRunArchive(t *testing.T) {
-	f, err := os.Open("results/lrpbench_full.json")
+// loadArchive decodes one checked-in suite.
+func loadArchive(t *testing.T, path string) *results.Suite {
+	t.Helper()
+	f, err := os.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
 	s, err := results.Decode(f)
 	if err != nil {
-		t.Fatalf("archived suite no longer decodes: %v", err)
+		t.Fatalf("%s no longer decodes: %v", path, err)
 	}
 	if s.Quick {
-		t.Error("archived suite was generated with -quick; regenerate at full length")
+		t.Errorf("%s was generated with -quick; regenerate at full length", path)
 	}
+	return s
+}
+
+func TestFullRunArchive(t *testing.T) {
+	s := loadArchive(t, "results/lrpbench_full.json")
 	if len(s.Experiments) != len(results.SuiteExperiments) {
 		t.Errorf("archived suite has %d experiments, want %d", len(s.Experiments), len(results.SuiteExperiments))
 	}
 	for _, v := range results.CheckSuite(s) {
 		t.Errorf("archived full run violates a paper-shape assertion: %s", v)
 	}
+}
+
+func TestFaultsArchive(t *testing.T) {
+	s := loadArchive(t, "results/lrpbench_faults.json")
+	e := s.Find("faults")
+	if e == nil {
+		t.Fatal("archived faults suite carries no faults experiment")
+	}
+	for _, v := range results.CheckFaults(e.Faults) {
+		t.Errorf("archived faults run violates a shape assertion: %s", v)
+	}
+}
+
+// rerunArchive reruns the named experiments at full length in-process
+// and compares the rendered text and encoded JSON against the
+// checked-in archive pair, byte for byte. This is the determinism
+// contract at its strongest: any stray source of nondeterminism or any
+// unintended change to simulation behavior — however small — shows up
+// as a diff against an archive produced by a different process on a
+// different day.
+func rerunArchive(t *testing.T, jsonPath, txtPath string, names ...string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-length re-run; skipped in -short")
+	}
+	if race.Enabled {
+		t.Skip("full-length re-run; too slow under the race detector")
+	}
+	wantJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTxt, err := os.ReadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := exp.RunSuite(exp.Options{Seed: 1, Parallel: 8}, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotJSON, gotTxt bytes.Buffer
+	if err := suite.Encode(&gotJSON); err != nil {
+		t.Fatal(err)
+	}
+	render.Suite(&gotTxt, suite, render.Options{})
+	if !bytes.Equal(gotJSON.Bytes(), wantJSON) {
+		t.Errorf("re-run JSON differs from %s (%d vs %d bytes); if the change is intended, regenerate the archives",
+			jsonPath, gotJSON.Len(), len(wantJSON))
+	}
+	if !bytes.Equal(gotTxt.Bytes(), wantTxt) {
+		t.Errorf("re-run text differs from %s (%d vs %d bytes); if the change is intended, regenerate the archives",
+			txtPath, gotTxt.Len(), len(wantTxt))
+	}
+}
+
+func TestFullRunArchiveByteIdentical(t *testing.T) {
+	rerunArchive(t, "results/lrpbench_full.json", "results/lrpbench_full.txt")
+}
+
+func TestFaultsArchiveByteIdentical(t *testing.T) {
+	rerunArchive(t, "results/lrpbench_faults.json", "results/lrpbench_faults.txt", "faults")
 }

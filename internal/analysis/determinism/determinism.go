@@ -55,6 +55,7 @@ var simCore = map[string]bool{
 	"lrp/internal/pkt":    true,
 	"lrp/internal/ipv4":   true,
 	"lrp/internal/socket": true,
+	"lrp/internal/fault":  true,
 }
 
 // concurrencyAllowed lists packages exempt from the goroutine/sync rules.

@@ -1,0 +1,62 @@
+package exp
+
+// Shape and determinism regression tests for the fault robustness
+// curves. The shape thresholds themselves live in
+// results.CheckFaults, so the quick sweep, the full archived run, and
+// `lrpbench check` on a faults-carrying suite are all held to the same
+// predicates.
+
+import (
+	"bytes"
+	"testing"
+
+	"lrp/internal/race"
+	"lrp/internal/results"
+)
+
+func TestFaultsShapeChecks(t *testing.T) {
+	curves := Faults(Options{Quick: true, Seed: 1, Parallel: 8})
+	if len(curves) != len(results.FaultImpairments) {
+		t.Fatalf("%d curves, want one per impairment (%d)", len(curves), len(results.FaultImpairments))
+	}
+	for _, v := range results.CheckFaults(curves) {
+		t.Errorf("quick faults sweep violates a shape assertion: %s", v)
+	}
+}
+
+func TestFaultsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three quick fault sweeps; skipped in -short")
+	}
+	if race.Enabled {
+		// Byte-identity of repeated runs is a pure-value property; the
+		// race pass already drives the sweep via TestFaultsShapeChecks.
+		t.Skip("three quick fault sweeps; too slow under the race detector")
+	}
+	a := marshal(t, Faults(Options{Quick: true, Seed: 7, Parallel: 8}))
+	b := marshal(t, Faults(Options{Quick: true, Seed: 7, Parallel: 8}))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed diverged between runs (%d vs %d bytes)", len(a), len(b))
+	}
+	c := marshal(t, Faults(Options{Quick: true, Seed: 7, Parallel: 3}))
+	if !bytes.Equal(a, c) {
+		t.Fatalf("parallelism changed the results (%d vs %d bytes)", len(a), len(c))
+	}
+}
+
+func TestFaultsSeedMoves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two quick fault sweeps; skipped in -short")
+	}
+	if race.Enabled {
+		t.Skip("two quick fault sweeps; too slow under the race detector")
+	}
+	// Different seeds must actually perturb the traffic and plans — a
+	// sweep that ignores its seed would make the determinism test above
+	// vacuous.
+	a := marshal(t, Faults(Options{Quick: true, Seed: 7, Parallel: 8}))
+	b := marshal(t, Faults(Options{Quick: true, Seed: 8, Parallel: 8}))
+	if bytes.Equal(a, b) {
+		t.Fatal("seeds 7 and 8 produced byte-identical sweeps")
+	}
+}

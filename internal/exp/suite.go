@@ -7,7 +7,10 @@ import (
 )
 
 // Experiments lists the eight experiment names in canonical suite
-// order — the order `lrpbench all` runs and reports them.
+// order — the order `lrpbench all` runs and reports them. The fault
+// robustness curves ("faults") are deliberately not part of the
+// canonical suite: they run standalone via `lrpbench faults`, so the
+// archived `lrpbench all` output stays byte-stable.
 var Experiments = []string{
 	"table1", "fig3", "mlfrr", "fig4", "table2", "fig5", "ablations", "media",
 }
@@ -34,6 +37,8 @@ func RunExperiment(name string, opt Options) (results.Experiment, error) {
 		e.Ablations = Ablations(opt)
 	case "media":
 		e.Media = MediaJitter(opt)
+	case "faults":
+		e.Faults = Faults(opt)
 	default:
 		return results.Experiment{}, fmt.Errorf("exp: unknown experiment %q", name)
 	}

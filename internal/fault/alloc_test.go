@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"testing"
+
+	"lrp/internal/nic"
+	"lrp/internal/race"
+	"lrp/internal/sim"
+)
+
+var verdictSink Verdict
+
+// TestApplyZeroAllocs pins the per-packet pipeline hot path at zero
+// allocations: a full pipeline (every impairment kind active) must issue
+// its verdict without touching the heap.
+func TestApplyZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	p := MustNew(Plan{Seed: 2, Segments: []Segment{
+		{Kind: KindLoss, Rate: 0.1},
+		{Kind: KindGilbertElliott, PGoodBad: 0.05, PBadGood: 0.2, BadLoss: 1},
+		{Kind: KindReorder, Rate: 0.1, DelayUs: 100},
+		{Kind: KindDuplicate, Rate: 0.1, DelayUs: 10},
+		{Kind: KindCorrupt, Rate: 0.1},
+		{Kind: KindJitter, JitterUs: 50},
+		{Kind: KindFlap, DownUs: 100, UpUs: 900},
+	}})
+	var now sim.Time
+	if n := testing.AllocsPerRun(1000, func() {
+		verdictSink = p.Apply(now)
+		now++
+	}); n != 0 {
+		t.Errorf("Apply allocates %v per packet, want 0", n)
+	}
+}
+
+var boolSink bool
+
+// TestRxFaultZeroAllocs pins the NIC receive fault hook: it runs on
+// every wire arrival, so it must not allocate.
+func TestRxFaultZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	eng := sim.NewEngine()
+	n := nic.New(eng, nic.Config{Name: "eth0"})
+	h, err := InstallNIC(eng, n, nil, NICPlan{
+		Seed:        3,
+		RingOverrun: []RingFault{{Rate: 0.3}, {Rate: 0.1, Start: 0, End: 1 << 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(1000, func() {
+		boolSink = h.rxFault()
+	}); got != 0 {
+		t.Errorf("rxFault allocates %v per packet, want 0", got)
+	}
+}

@@ -154,6 +154,7 @@ type Stats struct {
 // threaded by construction.
 type Pool struct {
 	limit     int
+	pressure  int // buffers withheld by fault injection (transient pool pressure)
 	inUse     int
 	highWater int
 	allocs    uint64
@@ -169,13 +170,36 @@ func NewPool(limit int) *Pool {
 	return &Pool{limit: limit}
 }
 
+// SetPressure withholds n buffers from a bounded pool, shrinking the
+// effective limit to limit-n (floored at 1) until the pressure is lifted
+// with SetPressure(0). Fault injection uses it to model transient
+// external demand on the shared mbuf pool — the paper's "aggregate
+// traffic bursts ... exhaust the mbuf pool" failure mode — without
+// circulating real packets. Unbounded pools ignore pressure. Buffers
+// already outstanding are unaffected; only new reservations see the
+// reduced limit, exactly as real exhaustion behaves.
+func (p *Pool) SetPressure(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.pressure = n
+}
+
 // reserve performs the bounded-accounting half of every allocation. It
 // must stay byte-for-byte equivalent to the original Alloc counters: the
-// experiments assert on high-water and failure values.
+// experiments assert on high-water and failure values. (Pressure is
+// zero outside fault-injection runs, leaving the legacy comparison
+// untouched.)
 //
 //lrp:hotpath
 func (p *Pool) reserve() bool {
-	if p.limit > 0 && p.inUse >= p.limit {
+	limit := p.limit
+	if p.pressure > 0 && limit > 0 {
+		if limit -= p.pressure; limit < 1 {
+			limit = 1
+		}
+	}
+	if limit > 0 && p.inUse >= limit {
 		p.failures++
 		return false
 	}

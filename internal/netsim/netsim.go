@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 
+	"lrp/internal/fault"
 	"lrp/internal/mbuf"
 	"lrp/internal/nic"
 	"lrp/internal/pkt"
@@ -20,10 +21,11 @@ const DefaultFrameOverhead = 24
 
 // Stats counts network-level events.
 type Stats struct {
-	Delivered uint64 // packets handed to a destination NIC
+	Delivered uint64 // packets handed to a destination NIC (duplicates included)
 	NoRoute   uint64 // packets whose destination IP had no attached host
 	Injected  uint64 // packets entered via Inject
-	Lost      uint64 // packets dropped by injected loss
+	Lost      uint64 // packets dropped by injected loss (any fault pipeline drop)
+	Corrupted uint64 // packets delivered with fault-injected payload corruption
 }
 
 // port is one host attachment.
@@ -35,6 +37,9 @@ type port struct {
 	// rxFreeAt serializes delivery into the host: a 155 Mbit/s link can
 	// only hand over so many packets per second.
 	rxFreeAt sim.Time
+	// faults, when non-nil, impairs traffic delivered to this port, on
+	// top of the network-wide pipeline.
+	faults *fault.Pipeline
 }
 
 // Network is the simulated LAN.
@@ -49,8 +54,14 @@ type Network struct {
 	routes map[pkt.Addr]pkt.Addr
 	stats  Stats
 
-	lossRate float64
-	lossRng  *sim.Rand
+	// faults, when non-nil, impairs every delivery on the network.
+	faults *fault.Pipeline
+	// scratch backs corrupted deliveries: the wire bytes are copied here
+	// and flipped at delivery time, so shared mbuf storage (multicast
+	// fanout, generator-recycled buffers) is never mutated. One buffer
+	// suffices because the receiving NIC copies the packet synchronously
+	// in Rx and events fire one at a time.
+	scratch []byte
 }
 
 // New creates an empty network.
@@ -153,8 +164,20 @@ func (nw *Network) route(b []byte, m *mbuf.Mbuf, propDelay int64) {
 // the destination link can carry them. It consumes one wire reference on m:
 // the receiving NIC copies the packet in Rx, after which the storage is
 // released for recycling.
+//
+// Fault pipelines (network-wide, then per-port) are consulted once per
+// delivery. A fault delay is added after link serialization and does not
+// extend rxFreeAt: the held packet is "in flight" longer while the link
+// stays free, so later packets genuinely overtake it (reordering).
 func (nw *Network) deliverTo(dst *port, b []byte, m *mbuf.Mbuf, propDelay int64) {
-	if nw.lossRate > 0 && nw.lossRng.Float64() < nw.lossRate {
+	var v fault.Verdict
+	if nw.faults != nil {
+		v = nw.faults.Apply(nw.Eng.Now())
+	}
+	if dst.faults != nil {
+		v.Merge(dst.faults.Apply(nw.Eng.Now()))
+	}
+	if v.Drop {
 		nw.stats.Lost++
 		m.EndTransfer()
 		return
@@ -166,22 +189,83 @@ func (nw *Network) deliverTo(dst *port, b []byte, m *mbuf.Mbuf, propDelay int64)
 		arrive = dst.rxFreeAt
 	}
 	dst.rxFreeAt = arrive + rxTime
+	deliver := arrive + rxTime + sim.Time(v.ExtraDelayUs)
 	nw.stats.Delivered++
-	nw.Eng.At(arrive+rxTime, func() {
-		dst.nic.Rx(b)
+	corrupt := v.Corrupt
+	if corrupt {
+		nw.stats.Corrupted++
+	}
+	nw.Eng.At(deliver, func() {
+		data := b
+		if corrupt {
+			data = nw.corruptCopy(b)
+		}
+		dst.nic.Rx(data)
 		m.EndTransfer()
 	})
+	if v.Duplicate {
+		// The copy rides its own wire reference on the shared storage and
+		// receives the same corruption treatment as the original.
+		if m != nil {
+			m.AddRef()
+		}
+		nw.stats.Delivered++
+		nw.Eng.At(deliver+sim.Time(v.DupDelayUs), func() {
+			data := b
+			if corrupt {
+				data = nw.corruptCopy(b)
+			}
+			dst.nic.Rx(data)
+			m.EndTransfer()
+		})
+	}
+}
+
+// corruptCopy returns the wire bytes with a payload byte flipped, in the
+// network's scratch buffer. The original storage is never touched: it
+// may back other deliveries (multicast, duplicates) or belong to a
+// generator that reuses it.
+func (nw *Network) corruptCopy(b []byte) []byte {
+	if cap(nw.scratch) < len(b) {
+		nw.scratch = make([]byte, len(b))
+	}
+	s := nw.scratch[:len(b)]
+	copy(s, b)
+	pkt.CorruptInPlace(s)
+	return s
 }
 
 // SetLoss makes the network drop each delivered packet with probability
 // rate (failure injection for protocol testing). A nil rng seeds a
 // deterministic default.
+//
+// It is a compatibility shim over the fault pipeline: rate > 0 installs
+// a one-segment Bernoulli plan driven by the caller's generator (one
+// Float64 draw per delivery, exactly as the pre-pipeline implementation
+// drew), and rate <= 0 clears the network-wide pipeline.
 func (nw *Network) SetLoss(rate float64, rng *sim.Rand) {
-	if rng == nil {
-		rng = sim.NewRand(0x105e)
+	if rate <= 0 {
+		nw.faults = nil
+		return
 	}
-	nw.lossRate = rate
-	nw.lossRng = rng
+	nw.faults = fault.NewBernoulli(rate, rng)
+}
+
+// SetFaults installs (or, with nil, clears) a network-wide fault
+// pipeline applied to every delivery. The caller keeps the *fault.Pipeline
+// handle for stats and tracing.
+func (nw *Network) SetFaults(p *fault.Pipeline) { nw.faults = p }
+
+// SetPortFaults installs (or, with nil, clears) a fault pipeline applied
+// only to traffic delivered to the host attached at addr, composing with
+// any network-wide pipeline.
+func (nw *Network) SetPortFaults(addr pkt.Addr, p *fault.Pipeline) error {
+	prt, ok := nw.ports[addr]
+	if !ok {
+		return fmt.Errorf("netsim: no attachment at %v", addr)
+	}
+	prt.faults = p
+	return nil
 }
 
 // AddRoute makes traffic for an unattached destination address travel via

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"testing"
 
 	"lrp/internal/mbuf"
@@ -251,5 +252,117 @@ func TestMalformedInjectNoRoute(t *testing.T) {
 	eng.Run()
 	if nw.Stats().NoRoute != 1 {
 		t.Fatalf("malformed packet not counted: %+v", nw.Stats())
+	}
+}
+
+func TestRouteViaDetachedGatewayNoRoute(t *testing.T) {
+	// A route whose gateway host is not attached must fall through to
+	// NoRoute accounting, not panic or deliver.
+	eng := sim.NewEngine()
+	nw := New(eng)
+	far := pkt.IP(172, 16, 0, 9)
+	nw.AddRoute(far, addrB) // addrB never attached
+	eng.At(0, func() {
+		nw.Inject(pkt.UDPPacket(addrA, far, 1, 7, 1, 64, nil, true))
+	})
+	eng.Run()
+	if s := nw.Stats(); s.NoRoute != 1 || s.Delivered != 0 {
+		t.Fatalf("detached gateway: stats %+v, want NoRoute=1 Delivered=0", s)
+	}
+}
+
+func TestRouteViaGatewayReleasesMbuf(t *testing.T) {
+	// The gateway delivery path must consume the wire reference exactly
+	// once: after delivery the sender pool drains back to zero.
+	eng := sim.NewEngine()
+	nw := New(eng)
+	gw := nic.New(eng, nic.Config{Mode: nic.ModeRaw})
+	nw.Attach(gw, addrB, mbps155, 10)
+	far := pkt.IP(172, 16, 0, 9)
+	nw.AddRoute(far, addrB)
+	pool := mbuf.NewPool(8)
+	eng.At(0, func() {
+		m := pool.AllocCopy(pkt.UDPPacket(addrA, far, 1, 7, 1, 64, nil, true))
+		nw.InjectMbuf(m)
+	})
+	eng.Run()
+	if gw.RxPending() != 1 {
+		t.Fatalf("gateway received %d", gw.RxPending())
+	}
+	if s := pool.Stats(); s.InUse != 0 {
+		t.Fatalf("routed mbuf leaked: %d still in use", s.InUse)
+	}
+}
+
+func TestMulticastFanoutOrderDeterministic(t *testing.T) {
+	// Multicast copies must reach receivers in attachment order — the
+	// fanout iterates nw.order, never the ports map. Observed via the
+	// host-interrupt hook, which fires synchronously inside Rx.
+	for run := 0; run < 3; run++ {
+		eng := sim.NewEngine()
+		nw := New(eng)
+		var firing []string
+		hook := func(name string) func() {
+			return func() { firing = append(firing, name) }
+		}
+		addrs := []pkt.Addr{pkt.IP(10, 0, 0, 3), addrB, pkt.IP(10, 0, 0, 4)}
+		names := []string{"c", "b", "d"}
+		for i, a := range addrs {
+			n := nic.New(eng, nic.Config{Name: names[i], Mode: nic.ModeRaw})
+			n.OnHostIntr = hook(names[i])
+			nw.Attach(n, a, mbps155, 10)
+		}
+		p := pkt.UDPPacket(addrA, pkt.IP(224, 0, 0, 9), 1, 5353, 1, 64, []byte("m"), true)
+		eng.At(0, func() { nw.Inject(p) })
+		eng.Run()
+		if got := fmt.Sprint(firing); got != "[c b d]" {
+			t.Fatalf("run %d: fanout order %v, want attachment order [c b d]", run, firing)
+		}
+	}
+}
+
+func TestMulticastNoReceiversReleasesStorage(t *testing.T) {
+	// A multicast from the only attached host has no receivers: the wire
+	// reference must still be released so the pool drains.
+	eng := sim.NewEngine()
+	nw := New(eng)
+	a := nic.New(eng, nic.Config{Mode: nic.ModeRaw})
+	nw.Attach(a, addrA, mbps155, 10)
+	pool := mbuf.NewPool(4)
+	eng.At(0, func() {
+		m := pool.AllocCopy(pkt.UDPPacket(addrA, pkt.IP(224, 0, 0, 9), 1, 5353, 1, 64, nil, true))
+		nw.InjectMbuf(m)
+	})
+	eng.Run()
+	if s := nw.Stats(); s.Delivered != 0 {
+		t.Fatalf("delivered %d copies with no receivers", s.Delivered)
+	}
+	if s := pool.Stats(); s.InUse != 0 {
+		t.Fatalf("no-receiver multicast leaked: %d in use", s.InUse)
+	}
+}
+
+func TestMulticastFanoutReleasesAllReferences(t *testing.T) {
+	// Fanout to two receivers takes an extra wire reference; both must be
+	// consumed at delivery so the generator pool drains.
+	eng := sim.NewEngine()
+	nw := New(eng)
+	a := nic.New(eng, nic.Config{Mode: nic.ModeRaw})
+	b := nic.New(eng, nic.Config{Mode: nic.ModeRaw})
+	c := nic.New(eng, nic.Config{Mode: nic.ModeRaw})
+	nw.Attach(a, addrA, mbps155, 10)
+	nw.Attach(b, addrB, mbps155, 10)
+	nw.Attach(c, pkt.IP(10, 0, 0, 3), mbps155, 10)
+	pool := mbuf.NewPool(4)
+	eng.At(0, func() {
+		m := pool.AllocCopy(pkt.UDPPacket(addrA, pkt.IP(224, 0, 0, 9), 1, 5353, 1, 64, []byte("m"), true))
+		nw.InjectMbuf(m)
+	})
+	eng.Run()
+	if b.RxPending() != 1 || c.RxPending() != 1 {
+		t.Fatalf("fanout: b=%d c=%d", b.RxPending(), c.RxPending())
+	}
+	if s := pool.Stats(); s.InUse != 0 {
+		t.Fatalf("fanout leaked: %d in use", s.InUse)
 	}
 }

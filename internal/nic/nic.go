@@ -37,6 +37,7 @@ type Stats struct {
 	TxPackets    uint64 // packets transmitted
 	TxQueueDrops uint64 // packets lost to interface-queue overflow
 	HostIntrs    uint64 // host interrupts raised
+	FaultDrops   uint64 // packets discarded by an injected receive fault
 }
 
 // NIC is one simulated network adaptor.
@@ -70,6 +71,13 @@ type NIC struct {
 	// NICInputLimit bounds the embedded processor's input backlog; beyond
 	// it packets are dropped on the adaptor, costing the host nothing.
 	NICInputLimit int
+
+	// RxFault, when non-nil, is consulted for every packet arriving from
+	// the wire; returning true discards the packet before any buffer is
+	// allocated, modelling adaptor-level receive faults (a DMA engine
+	// overrunning its descriptor ring). Installed by the fault-injection
+	// subsystem; nil outside fault runs.
+	RxFault func() bool
 
 	// Transmit is installed by the network layer; it serializes m onto the
 	// wire and calls done when the link is free for the next packet. The
@@ -138,6 +146,10 @@ func (n *NIC) Stats() Stats {
 // Rx accepts a packet from the wire (engine context).
 func (n *NIC) Rx(b []byte) {
 	n.stats.RxPackets++
+	if n.RxFault != nil && n.RxFault() {
+		n.stats.FaultDrops++
+		return
+	}
 	switch n.Mode {
 	case ModeRaw:
 		m := n.Pool.AllocCopy(b)

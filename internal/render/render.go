@@ -1,0 +1,222 @@
+// Package render formats result payloads as the text tables lrpbench
+// prints. It is a separate package so the CLI and the archive
+// regression tests share one renderer: the tests re-run the suite
+// in-process and compare against results/lrpbench_full.txt
+// byte-for-byte, which only means anything if both paths print through
+// the same code.
+package render
+
+import (
+	"fmt"
+	"io"
+
+	"lrp/internal/plot"
+	"lrp/internal/results"
+)
+
+// Options tunes rendering.
+type Options struct {
+	// Plot renders ASCII charts above the figures' tables.
+	Plot bool
+}
+
+// Suite prints every experiment in s the way `lrpbench all` does: each
+// payload's table, with a blank line after each when there is more than
+// one.
+func Suite(w io.Writer, s *results.Suite, o Options) {
+	for _, e := range s.Experiments {
+		Experiment(w, e, o)
+		if len(s.Experiments) > 1 {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Experiment prints one experiment's table.
+func Experiment(w io.Writer, e results.Experiment, o Options) {
+	switch e.Name {
+	case "table1":
+		printTable1(w, e.Table1)
+	case "fig3":
+		printFig3(w, e.Fig3, o)
+	case "mlfrr":
+		printMLFRR(w, e.MLFRR)
+	case "fig4":
+		printFig4(w, e.Fig4, o)
+	case "table2":
+		printTable2(w, e.Table2)
+	case "fig5":
+		printFig5(w, e.Fig5, o)
+	case "ablations":
+		printAblations(w, e.Ablations)
+	case "media":
+		printMedia(w, e.Media)
+	case "faults":
+		printFaults(w, e.Faults)
+	}
+}
+
+func printTable1(w io.Writer, rows []results.Table1Row) {
+	fmt.Fprintln(w, "Table 1: Throughput and Latency")
+	fmt.Fprintln(w, "(paper: RTT 1006/855/840/864 µs; UDP 64/82/92/86 Mbps; TCP 63/69/67/66 Mbps)")
+	fmt.Fprintf(w, "%-22s %14s %16s %16s\n", "System", "RTT (µs)", "UDP (Mbit/s)", "TCP (Mbit/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %12.0f %16.1f %16.1f\n", r.System, r.RTTMicros, r.UDPMbps, r.TCPMbps)
+	}
+}
+
+func printFig3(w io.Writer, series []results.Fig3Series, o Options) {
+	fmt.Fprintln(w, "Figure 3: Throughput versus offered load (14-byte UDP, pkts/s)")
+	if o.Plot {
+		c := plot.Chart{Title: "Figure 3", XLabel: "offered rate (pkts/s)", YLabel: "delivered (pkts/s)", Width: 64, Height: 18}
+		for _, s := range series {
+			var xs, ys []float64
+			for _, p := range s.Points {
+				xs = append(xs, float64(p.Offered))
+				ys = append(ys, p.Delivered)
+			}
+			c.Add(s.System, xs, ys)
+		}
+		fmt.Fprintln(w, c.Render())
+	}
+	fmt.Fprintf(w, "%-10s", "offered")
+	for _, s := range series {
+		fmt.Fprintf(w, " %12s", s.System)
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%-10d", series[0].Points[i].Offered)
+		for _, s := range series {
+			fmt.Fprintf(w, " %12.0f", s.Points[i].Delivered)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func printMLFRR(w io.Writer, rows []results.MLFRRRow) {
+	fmt.Fprintln(w, "Maximum Loss-Free Receive Rate (paper: SOFT-LRP 9210 vs BSD 6380, +44%)")
+	fmt.Fprintf(w, "%-14s %10s %12s\n", "System", "MLFRR", "Peak (pkt/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10d %12.0f\n", r.System, r.MLFRR, r.Peak)
+	}
+}
+
+func printFig4(w io.Writer, series []results.Fig4Series, o Options) {
+	fmt.Fprintln(w, "Figure 4: Latency with concurrent load (µs round trip; * = probes lost)")
+	if o.Plot {
+		c := plot.Chart{Title: "Figure 4", XLabel: "background rate (pkts/s)", YLabel: "round trip (µs)", Width: 64, Height: 18}
+		for _, s := range series {
+			var xs, ys []float64
+			for _, p := range s.Points {
+				if p.RTTMicros > 0 {
+					xs = append(xs, float64(p.BgRate))
+					ys = append(ys, p.RTTMicros)
+				}
+			}
+			c.Add(s.System, xs, ys)
+		}
+		fmt.Fprintln(w, c.Render())
+	}
+	fmt.Fprintf(w, "%-10s", "bg pkt/s")
+	for _, s := range series {
+		fmt.Fprintf(w, " %12s", s.System)
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%-10d", series[0].Points[i].BgRate)
+		for _, s := range series {
+			mark := ""
+			if s.Points[i].Lost > 0 {
+				mark = "*"
+			}
+			fmt.Fprintf(w, " %11.0f%1s", s.Points[i].RTTMicros, mark)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func printTable2(w io.Writer, rows []results.Table2Row) {
+	fmt.Fprintln(w, "Table 2: Synthetic RPC Server Workload")
+	fmt.Fprintln(w, "(paper Fast: elapsed 49.7/34.6/38.7 s; shares 23-26% BSD vs 29-33% LRP)")
+	fmt.Fprintf(w, "%-8s %-12s %16s %14s %14s\n", "RPC", "System", "Worker (s)", "RPCs/s", "Worker share")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-12s %16.1f %14.0f %13.1f%%\n",
+			r.Workload, r.System, r.WorkerElapsed, r.ServerRPCRate, r.WorkerShare*100)
+	}
+}
+
+func printFig5(w io.Writer, series []results.Fig5Series, o Options) {
+	fmt.Fprintln(w, "Figure 5: HTTP Server Throughput under SYN flood (transfers/s)")
+	fmt.Fprintln(w, "(paper: BSD livelocks near 10k SYN/s; LRP keeps ~50% at 20k)")
+	if o.Plot {
+		c := plot.Chart{Title: "Figure 5", XLabel: "SYN rate (pkts/s)", YLabel: "HTTP transfers/s", Width: 64, Height: 18}
+		for _, s := range series {
+			var xs, ys []float64
+			for _, p := range s.Points {
+				xs = append(xs, float64(p.SYNRate))
+				ys = append(ys, p.HTTPPerSec)
+			}
+			c.Add(s.System, xs, ys)
+		}
+		fmt.Fprintln(w, c.Render())
+	}
+	fmt.Fprintf(w, "%-10s", "SYN/s")
+	for _, s := range series {
+		fmt.Fprintf(w, " %12s", s.System)
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%-10d", series[0].Points[i].SYNRate)
+		for _, s := range series {
+			fmt.Fprintf(w, " %12.1f", s.Points[i].HTTPPerSec)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func printAblations(w io.Writer, rows []results.AblationRow) {
+	fmt.Fprintln(w, "Ablations: isolating LRP's individual design choices")
+	fmt.Fprintf(w, "%-16s %-20s %-22s %10s\n", "experiment", "variant", "metric", "value")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-20s %-22s %10.1f\n", r.Experiment, r.Variant, r.Metric, r.Value)
+	}
+}
+
+func printMedia(w io.Writer, rows []results.MediaRow) {
+	fmt.Fprintln(w, "Media stream (30 fps) delivery jitter vs background blast")
+	fmt.Fprintf(w, "%-12s %10s %14s %12s\n", "System", "bg pkt/s", "mean jitter µs", "p99 µs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10d %14.0f %12d\n", r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs)
+	}
+}
+
+func printFaults(w io.Writer, curves []results.FaultCurve) {
+	fmt.Fprintln(w, "Robustness curves: per-architecture behavior under injected faults")
+	for i, cv := range curves {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s — severity axis: %s\n", cv.Impairment, cv.Axis)
+		if cv.Impairment == "tcp-reorder" {
+			fmt.Fprintf(w, "%-14s %10s %12s\n", "System", "severity", "TCP Mbit/s")
+			for _, s := range cv.Series {
+				for _, p := range s.Points {
+					fmt.Fprintf(w, "%-14s %10g %12.1f\n", s.System, p.Severity, p.TCPMbps)
+				}
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %10s %14s %10s %8s %8s\n",
+			"System", "severity", "goodput pkt/s", "p99 µs", "lost", "victim")
+		for _, s := range cv.Series {
+			for _, p := range s.Points {
+				p99 := fmt.Sprintf("%d", p.P99Us)
+				if p.P99Us < 0 {
+					p99 = "-"
+				}
+				fmt.Fprintf(w, "%-14s %10g %14.0f %10s %8d %7.1f%%\n",
+					s.System, p.Severity, p.GoodputPps, p99, p.ProbesLost, p.VictimShare*100)
+			}
+		}
+	}
+}

@@ -75,6 +75,12 @@ func CheckSuite(s *Suite) []Violation {
 			out = append(out, CheckMedia(e.Media)...)
 		}
 	}
+	// The fault robustness curves are not part of the canonical suite
+	// (they run via `lrpbench faults`), but when a suite carries them
+	// they are held to their shapes too.
+	if e := s.Find("faults"); e != nil {
+		out = append(out, CheckFaults(e.Faults)...)
+	}
 	return out
 }
 
@@ -389,4 +395,249 @@ func CheckMedia(rows []MediaRow) []Violation {
 			"SOFT-LRP jitter %.0fµs above BSD %.0fµs", soft.MeanJitterUs, bsd.MeanJitterUs)
 	}
 	return c.out
+}
+
+// FaultImpairments lists the impairment curves a faults payload must
+// carry: every pipeline fault kind, the three host-side fault classes,
+// and the TCP-vs-reordering sweep.
+var FaultImpairments = []string{
+	"loss", "ge-loss", "reorder", "duplicate", "corrupt", "jitter", "flap",
+	"ring-overrun", "spurious-intr", "pool-pressure", "tcp-reorder",
+}
+
+// faultEnds returns a series' unimpaired baseline and maximum-severity
+// points.
+func faultEnds(s FaultSeries) (base, last FaultPoint) {
+	return s.Points[0], s.Points[len(s.Points)-1]
+}
+
+func findFaultSeries(cv FaultCurve, system string) (FaultSeries, bool) {
+	for _, s := range cv.Series {
+		if s.System == system {
+			return s, true
+		}
+	}
+	return FaultSeries{}, false
+}
+
+// CheckFaults verifies the robustness curves: structurally (every
+// impairment present, aligned severity axes starting from an
+// unimpaired baseline) and by shape — loss-like faults cut goodput
+// roughly with their rate, reordering and jitter move latency but not
+// goodput, and the per-architecture distinctions hold (NI demux is
+// immune to host interrupt pressure that collapses BSD; LRP's receive
+// path degrades least under TCP reordering; LRP's accounting keeps the
+// victim's CPU share above BSD's).
+func CheckFaults(curves []FaultCurve) []Violation {
+	c := &checker{exp: "faults"}
+	byImp := map[string]FaultCurve{}
+	for _, cv := range curves {
+		byImp[cv.Impairment] = cv
+	}
+	for _, name := range FaultImpairments {
+		cv, ok := byImp[name]
+		if !ok {
+			c.failf("present", "impairment %q missing", name)
+			continue
+		}
+		if !checkFaultShape(c, cv) {
+			continue
+		}
+		checkFaultCurve(c, cv)
+	}
+	return c.out
+}
+
+// checkFaultShape verifies one curve's structure; further shape checks
+// only run when it holds.
+func checkFaultShape(c *checker, cv FaultCurve) bool {
+	if cv.Axis == "" {
+		c.failf("axis", "%s: empty severity-axis label", cv.Impairment)
+	}
+	if len(cv.Series) < 3 {
+		c.failf("series", "%s: %d series, want one per system", cv.Impairment, len(cv.Series))
+		return false
+	}
+	ref := cv.Series[0].Points
+	if len(ref) < 2 {
+		c.failf("points", "%s: %d sweep points, want at least baseline + one severity", cv.Impairment, len(ref))
+		return false
+	}
+	ok := true
+	for _, s := range cv.Series {
+		if len(s.Points) != len(ref) {
+			c.failf("aligned", "%s: %s has %d points, %s has %d",
+				cv.Impairment, s.System, len(s.Points), cv.Series[0].System, len(ref))
+			ok = false
+			continue
+		}
+		for i, p := range s.Points {
+			if p.Severity != ref[i].Severity {
+				c.failf("aligned", "%s: %s severity[%d]=%g, %s has %g",
+					cv.Impairment, s.System, i, p.Severity, cv.Series[0].System, ref[i].Severity)
+				ok = false
+			}
+		}
+		c.assert(s.Points[0].Severity == 0, "baseline",
+			"%s: %s first point severity %g, want an unimpaired 0 baseline",
+			cv.Impairment, s.System, s.Points[0].Severity)
+		for i := 1; i < len(s.Points); i++ {
+			c.assert(s.Points[i].Severity > s.Points[i-1].Severity, "ascending",
+				"%s: %s severities not ascending at point %d", cv.Impairment, s.System, i)
+		}
+	}
+	return ok
+}
+
+// checkFaultCurve verifies one structurally-sound curve's measured
+// shapes.
+func checkFaultCurve(c *checker, cv FaultCurve) {
+	if cv.Impairment == "tcp-reorder" {
+		checkTCPReorder(c, cv)
+		return
+	}
+	// UDP robustness rig: every baseline must carry near-full goodput
+	// with a live victim and answered probes.
+	for _, s := range cv.Series {
+		base, _ := faultEnds(s)
+		c.assert(base.GoodputPps >= 3500, "baseline-goodput",
+			"%s: %s unimpaired goodput %.0f pkt/s, want near the 5000 pkt/s blast",
+			cv.Impairment, s.System, base.GoodputPps)
+		c.assert(base.VictimShare > 0 && base.VictimShare < 1, "victim-live",
+			"%s: %s victim share %.2f outside (0,1)", cv.Impairment, s.System, base.VictimShare)
+		c.assert(base.ProbesLost <= 2, "baseline-probes",
+			"%s: %s lost %d probes unimpaired", cv.Impairment, s.System, base.ProbesLost)
+		c.assert(base.P99Us > 0, "baseline-p99",
+			"%s: %s baseline p99 %dµs not measured", cv.Impairment, s.System, base.P99Us)
+	}
+	switch cv.Impairment {
+	case "loss", "ge-loss":
+		// Max severity drops 40% of deliveries: goodput tracks 1-rate.
+		for _, s := range cv.Series {
+			base, last := faultEnds(s)
+			frac := last.GoodputPps / base.GoodputPps
+			c.assert(frac >= 0.45 && frac <= 0.75, "goodput-tracks-loss",
+				"%s: %s goodput fraction %.2f at 40%% loss, want ~0.6", cv.Impairment, s.System, frac)
+		}
+	case "reorder":
+		// Held-back packets still arrive: goodput unharmed, tail latency
+		// absorbs the 1 ms hold-back.
+		for _, s := range cv.Series {
+			base, last := faultEnds(s)
+			c.assert(last.GoodputPps >= 0.9*base.GoodputPps, "goodput-kept",
+				"reorder: %s goodput fell %.0f -> %.0f", s.System, base.GoodputPps, last.GoodputPps)
+			c.assert(last.P99Us >= base.P99Us+400, "p99-grows",
+				"reorder: %s p99 %d -> %d µs, want ≥ +400 from the 1 ms hold-back",
+				s.System, base.P99Us, last.P99Us)
+		}
+	case "duplicate":
+		// Copies add load but deliveries survive.
+		for _, s := range cv.Series {
+			base, last := faultEnds(s)
+			c.assert(last.GoodputPps >= 0.7*base.GoodputPps, "goodput-kept",
+				"duplicate: %s goodput fell %.0f -> %.0f", s.System, base.GoodputPps, last.GoodputPps)
+		}
+	case "corrupt":
+		// Corrupted packets reach the host but fail checksum: goodput
+		// falls roughly with the corruption rate (0.5 at max severity).
+		for _, s := range cv.Series {
+			base, last := faultEnds(s)
+			frac := last.GoodputPps / base.GoodputPps
+			c.assert(frac <= 0.75, "goodput-falls",
+				"corrupt: %s goodput fraction %.2f at 50%% corruption", s.System, frac)
+		}
+	case "jitter":
+		for _, s := range cv.Series {
+			base, last := faultEnds(s)
+			c.assert(last.GoodputPps >= 0.9*base.GoodputPps, "goodput-kept",
+				"jitter: %s goodput fell %.0f -> %.0f", s.System, base.GoodputPps, last.GoodputPps)
+			c.assert(float64(last.P99Us) >= 0.6*last.Severity, "p99-absorbs-jitter",
+				"jitter: %s p99 %dµs under a %gµs jitter bound", s.System, last.P99Us, last.Severity)
+		}
+	case "flap":
+		// Down half the cycle ⇒ roughly half the goodput.
+		for _, s := range cv.Series {
+			base, last := faultEnds(s)
+			frac := last.GoodputPps / base.GoodputPps
+			c.assert(frac >= 0.35 && frac <= 0.65, "goodput-tracks-downtime",
+				"flap: %s goodput fraction %.2f with the link down 50%% of the time", s.System, frac)
+		}
+	case "ring-overrun":
+		for _, s := range cv.Series {
+			base, last := faultEnds(s)
+			frac := last.GoodputPps / base.GoodputPps
+			c.assert(frac <= 0.75, "goodput-falls",
+				"ring-overrun: %s goodput fraction %.2f at 50%% ring drops", s.System, frac)
+		}
+	case "spurious-intr":
+		// The headline distinction: NI demux takes no host interrupts, so
+		// interrupt pressure cannot touch it, while the interrupt-driven
+		// kernels lose most of their goodput.
+		if ni, ok := findFaultSeries(cv, "NI-LRP"); ok {
+			base, last := faultEnds(ni)
+			c.assert(last.GoodputPps >= 0.9*base.GoodputPps, "ni-immune",
+				"spurious-intr: NI-LRP goodput fell %.0f -> %.0f; NI demux should be immune",
+				base.GoodputPps, last.GoodputPps)
+		} else {
+			c.failf("systems", "spurious-intr: NI-LRP series missing")
+		}
+		if bsd, ok := findFaultSeries(cv, "4.4 BSD"); ok {
+			base, last := faultEnds(bsd)
+			c.assert(last.GoodputPps <= 0.6*base.GoodputPps, "bsd-collapses",
+				"spurious-intr: BSD goodput %.0f of %.0f; interrupt pressure should collapse it",
+				last.GoodputPps, base.GoodputPps)
+		} else {
+			c.failf("systems", "spurious-intr: 4.4 BSD series missing")
+		}
+	case "pool-pressure":
+		// LRP allocates receive buffers early (at demux into per-socket
+		// channels), so starving the pool must visibly hurt SOFT-LRP.
+		if soft, ok := findFaultSeries(cv, "SOFT-LRP"); ok {
+			base, last := faultEnds(soft)
+			c.assert(last.GoodputPps <= 0.95*base.GoodputPps || last.ProbesLost > 0, "soft-feels-pressure",
+				"pool-pressure: SOFT-LRP unaffected at max pressure (goodput %.0f of %.0f, %d probes lost)",
+				last.GoodputPps, base.GoodputPps, last.ProbesLost)
+		} else {
+			c.failf("systems", "pool-pressure: SOFT-LRP series missing")
+		}
+	}
+	// The paper's accounting claim, visible in every unimpaired baseline:
+	// NI-LRP charges receive processing to the receiver, so the victim
+	// keeps clearly more CPU than under BSD's interrupt-level processing.
+	ni, okN := findFaultSeries(cv, "NI-LRP")
+	bsd, okB := findFaultSeries(cv, "4.4 BSD")
+	if okN && okB {
+		c.assert(ni.Points[0].VictimShare >= bsd.Points[0].VictimShare+0.05, "victim-accounting",
+			"%s: NI-LRP victim share %.2f not clearly above BSD's %.2f",
+			cv.Impairment, ni.Points[0].VictimShare, bsd.Points[0].VictimShare)
+	}
+}
+
+// checkTCPReorder verifies the TCP-vs-reordering sweep: everyone moves
+// bytes unimpaired, deep reordering costs BSD's receive path the most,
+// and LRP's stays close to its baseline.
+func checkTCPReorder(c *checker, cv FaultCurve) {
+	for _, s := range cv.Series {
+		base, _ := faultEnds(s)
+		c.assert(base.TCPMbps > 0, "baseline-tcp",
+			"tcp-reorder: %s moved no bytes unimpaired", s.System)
+	}
+	bsd, okB := findFaultSeries(cv, "4.4 BSD")
+	ni, okN := findFaultSeries(cv, "NI-LRP")
+	soft, okS := findFaultSeries(cv, "SOFT-LRP")
+	if !okB || !okN || !okS {
+		c.failf("systems", "tcp-reorder: missing series among %d", len(cv.Series))
+		return
+	}
+	bsdBase, bsdLast := faultEnds(bsd)
+	c.assert(bsdLast.TCPMbps <= 0.8*bsdBase.TCPMbps, "bsd-degrades",
+		"tcp-reorder: BSD kept %.1f of %.1f Mbit/s under deep reordering",
+		bsdLast.TCPMbps, bsdBase.TCPMbps)
+	for _, s := range []FaultSeries{ni, soft} {
+		base, last := faultEnds(s)
+		c.assert(last.TCPMbps >= 0.85*base.TCPMbps, "lrp-resilient",
+			"tcp-reorder: %s kept only %.1f of %.1f Mbit/s", s.System, last.TCPMbps, base.TCPMbps)
+		c.assert(last.TCPMbps > bsdLast.TCPMbps, "lrp-above-bsd",
+			"tcp-reorder: %s %.1f Mbit/s not above BSD's %.1f", s.System, last.TCPMbps, bsdLast.TCPMbps)
+	}
 }

@@ -101,6 +101,33 @@ type MediaRow struct {
 	FramesLost   int64   `json:"frames_lost"`
 }
 
+// FaultPoint is one sweep point of a robustness curve: one impairment
+// severity and how one system fared under it. The UDP metrics (goodput,
+// p99, probes, victim share) are populated for the UDP robustness rig;
+// TCPMbps is populated for the TCP transfer rig. Unused metrics are
+// zero.
+type FaultPoint struct {
+	Severity    float64 `json:"severity"`     // impairment axis value; meaning given by FaultCurve.Axis
+	GoodputPps  float64 `json:"goodput_pps"`  // blast packets consumed by the server process per second
+	P99Us       int64   `json:"p99_us"`       // ping-pong p99 RTT in µs; -1 when every probe was lost
+	ProbesLost  int     `json:"probes_lost"`  // latency probes that went unanswered
+	VictimShare float64 `json:"victim_share"` // CPU share kept by a competing compute process
+	TCPMbps     float64 `json:"tcp_mbps"`     // TCP transfer goodput (TCP rig only)
+}
+
+// FaultSeries is one system's robustness curve under one impairment.
+type FaultSeries struct {
+	System string       `json:"system"`
+	Points []FaultPoint `json:"points"`
+}
+
+// FaultCurve is one impairment class's per-architecture sweep.
+type FaultCurve struct {
+	Impairment string        `json:"impairment"` // fault kind, e.g. "loss", "ge-loss", "ring-overrun"
+	Axis       string        `json:"axis"`       // what Severity measures, e.g. "loss rate"
+	Series     []FaultSeries `json:"series"`
+}
+
 // Experiment is one named experiment's typed payload. Exactly one data
 // field is populated, matching Name.
 type Experiment struct {
@@ -113,6 +140,7 @@ type Experiment struct {
 	Fig5      []Fig5Series  `json:"fig5,omitempty"`
 	Ablations []AblationRow `json:"ablations,omitempty"`
 	Media     []MediaRow    `json:"media,omitempty"`
+	Faults    []FaultCurve  `json:"faults,omitempty"`
 }
 
 // Suite is a whole lrpbench run: run parameters plus every experiment's
@@ -164,6 +192,8 @@ func (e *Experiment) payload() bool {
 		return len(e.Ablations) > 0
 	case "media":
 		return len(e.Media) > 0
+	case "faults":
+		return len(e.Faults) > 0
 	}
 	return false
 }

@@ -19,6 +19,27 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// Fork derives an independent generator from seed material (r's current
+// state) and a caller-chosen salt, without consuming any draws from r.
+// Subsystems that compose several random processes (the fault pipeline's
+// per-impairment streams) fork one labelled stream per process, so adding
+// or removing one process never shifts the draws any other one sees.
+// The derivation runs the combined bits through a SplitMix64 finalizer,
+// so nearby salts (0, 1, 2, …) yield well-separated states.
+func (r *Rand) Fork(salt uint64) *Rand {
+	return NewRand(splitmix64(r.state ^ (salt + 0x9e3779b97f4a7c15)))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// spreads low-entropy inputs (small seeds, sequential salts) across the
+// whole state space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	x := r.state

@@ -1,0 +1,74 @@
+package sim
+
+import "testing"
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkIndependentStreams(t *testing.T) {
+	base := NewRand(42)
+	f0, f1 := base.Fork(0), base.Fork(1)
+	// Forking consumed nothing from the parent.
+	if got, want := base.Uint64(), NewRand(42).Uint64(); got != want {
+		t.Fatalf("Fork consumed a draw from the parent: %x vs %x", got, want)
+	}
+	// Nearby salts give well-separated streams.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if f0.Uint64() == f1.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("salt 0 and salt 1 streams collided %d/1000 times", same)
+	}
+	// Forks are themselves reproducible.
+	g0 := NewRand(42).Fork(0)
+	h0 := NewRand(42).Fork(0)
+	for i := 0; i < 100; i++ {
+		if g0.Uint64() != h0.Uint64() {
+			t.Fatalf("same fork diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkReflectsConsumedState(t *testing.T) {
+	// A fork taken after draws differs from one taken before: the fork
+	// seeds from the parent's current state, not its original seed.
+	a := NewRand(9)
+	before := a.Fork(3).Uint64()
+	a.Uint64()
+	after := a.Fork(3).Uint64()
+	if before == after {
+		t.Fatal("fork ignores the parent's consumed state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter(100, 0.1) = %d outside [90,110]", v)
+		}
+	}
+	if r.Jitter(0, 0.5) != 0 {
+		t.Fatal("jitter of zero duration should stay zero")
+	}
+}

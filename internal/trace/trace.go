@@ -24,10 +24,11 @@ const (
 	KindDeliver              // a message reached a socket queue
 	KindProto                // protocol event (TCP state change etc.)
 	KindUser                 // application-defined
+	KindFault                // fault injection fired (detail says which impairment)
 )
 
 var kindNames = [...]string{
-	"dispatch", "intr", "softintr", "demux", "drop", "deliver", "proto", "user",
+	"dispatch", "intr", "softintr", "demux", "drop", "deliver", "proto", "user", "fault",
 }
 
 func (k Kind) String() string {
