@@ -10,9 +10,13 @@
 //
 // Each experiment prints the same rows or series the paper reports;
 // EXPERIMENTS.md records a side-by-side comparison with the published
-// numbers. Sweep points run over a bounded worker pool (-parallel);
-// every point simulates in a private deterministic world, so output is
-// byte-identical at any parallelism.
+// numbers. All requested experiments run through exp.RunSuite: with
+// -parallel > 1 every independent simulation world across the whole
+// suite draws from one bounded worker pool, and results are assembled
+// in canonical order. Every world is a private deterministic
+// simulation, so output is byte-identical at any parallelism. -v
+// reports per-experiment wall-clock timings and a final wall-vs-user
+// CPU utilization summary on stderr.
 //
 // -json replaces the text tables on stdout with the versioned JSON
 // suite (internal/results schema); -out FILE additionally saves that
@@ -36,9 +40,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/metrics"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	"lrp/internal/exp"
 	"lrp/internal/render"
@@ -54,7 +60,7 @@ func main() {
 func run() int {
 	quick := flag.Bool("quick", false, "shorter runs (smoke test)")
 	seed := flag.Uint64("seed", 1, "traffic generator seed")
-	verbose := flag.Bool("v", false, "print progress")
+	verbose := flag.Bool("v", false, "print progress, per-experiment timings, and a utilization summary")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation worlds (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the JSON result suite on stdout instead of text tables")
 	outPath := flag.String("out", "", "also write the JSON result suite to FILE")
@@ -102,12 +108,24 @@ func run() int {
 		opt.Parallel = runtime.GOMAXPROCS(0)
 	}
 	if *verbose {
-		// Progress arrives from concurrent sweep workers; serialize it.
+		// Progress and the timing callbacks arrive from concurrent
+		// experiment drivers and sweep workers; serialize them.
 		var mu sync.Mutex
 		opt.Progress = func(s string) {
 			mu.Lock()
 			defer mu.Unlock()
 			fmt.Fprintln(os.Stderr, s)
+		}
+		started := make(map[string]time.Time)
+		opt.ExpStart = func(name string) {
+			mu.Lock()
+			defer mu.Unlock()
+			started[name] = time.Now()
+		}
+		opt.ExpDone = func(name string) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "lrpbench: %-9s done in %.2fs\n", name, time.Since(started[name]).Seconds())
 		}
 	}
 
@@ -124,15 +142,25 @@ func run() int {
 		names = []string{which}
 	}
 
-	suite := results.NewSuite(opt.Seed, opt.Quick)
-	for _, name := range names {
-		e, err := exp.RunExperiment(name, opt)
-		if err != nil {
-			flag.Usage()
-			return 2
+	start := time.Now()
+	userStart := userCPUSeconds()
+	suite, err := exp.RunSuite(opt, names...)
+	if err != nil {
+		flag.Usage()
+		return 2
+	}
+	if *verbose {
+		wall := time.Since(start).Seconds()
+		user := userCPUSeconds() - userStart
+		util := 0.0
+		if wall > 0 {
+			util = user / wall
 		}
-		suite.Add(e)
-		if !*jsonOut && !check {
+		fmt.Fprintf(os.Stderr, "lrpbench: suite wall %.2fs, user CPU %.2fs, utilization %.2fx (parallel=%d)\n",
+			wall, user, util, opt.Parallel)
+	}
+	if !*jsonOut && !check {
+		for _, e := range suite.Experiments {
 			render.Experiment(os.Stdout, e, render.Options{Plot: doPlot})
 			if len(names) > 1 {
 				fmt.Println()
@@ -161,6 +189,19 @@ func run() int {
 		return report(os.Stdout, suite, *jsonOut)
 	}
 	return 0
+}
+
+// userCPUSeconds reads the runtime's cumulative user-CPU estimate: the
+// -v utilization summary compares it against wall time as a proxy for
+// "how busy the worker pool kept the machine". On a single-CPU host the
+// ratio tops out near 1.0x no matter the -parallel value.
+func userCPUSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/cpu/classes/user:cpu-seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return sample[0].Value.Float64()
 }
 
 func fatal(err error) {

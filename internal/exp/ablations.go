@@ -56,36 +56,8 @@ func CorruptFlood(opt Options) []AblationRow {
 		{Name: "SOFT-LRP", Arch: core.ArchSoftLRP, Costs: core.DefaultCosts},
 	}
 	return runner.Map(opt.pool(), systems, func(_ int, sys System) AblationRow {
-		r := newRig(sys, 2)
-		server := r.hosts[1]
-		victim := server.K.Spawn("victim", 0, func(p *kernel.Proc) {
-			for {
-				p.Compute(sim.Millisecond)
-			}
-		})
-		// The flood's destination: a bound socket whose owner never reads
-		// (a stalled receiver).
-		server.K.Spawn("stalled-recv", 0, func(p *kernel.Proc) {
-			s := server.NewUDPSocket(p)
-			_ = server.BindUDP(s, 7)
-			p.Sleep(&kernel.WaitQ{})
-		})
-		good := pkt.UDPPacket(AddrA, AddrB, 9, 7, 1, 64, make([]byte, 14), true)
-		bad := pkt.Corrupt(good)
-		gap := sim.Second / rate
-		var pump func()
-		pump = func() {
-			if r.eng.Now() >= dur {
-				return
-			}
-			r.nw.Inject(bad)
-			r.eng.After(gap, pump)
-		}
-		r.eng.At(0, pump)
-		r.eng.RunFor(dur)
-		share := float64(victim.UTime) / float64(dur)
-		opt.progress(fmt.Sprintf("ablation corrupt-flood %s: victim share %.2f", sys.Name, share))
-		r.shutdown()
+		var share float64
+		labeled(sys.Name, func() { share = corruptFloodRun(sys, rate, dur, opt) })
 		return AblationRow{
 			Experiment: "corrupt-flood",
 			Variant:    sys.Name,
@@ -93,6 +65,42 @@ func CorruptFlood(opt Options) []AblationRow {
 			Value:      share,
 		}
 	})
+}
+
+// corruptFloodRun measures one corrupt-flood world: the victim's CPU
+// share while a checksum-corrupt blast targets a stalled receiver.
+func corruptFloodRun(sys System, rate int64, dur sim.Time, opt Options) float64 {
+	r := newRig(sys, 2)
+	server := r.hosts[1]
+	victim := server.K.Spawn("victim", 0, func(p *kernel.Proc) {
+		for {
+			p.Compute(sim.Millisecond)
+		}
+	})
+	// The flood's destination: a bound socket whose owner never reads
+	// (a stalled receiver).
+	server.K.Spawn("stalled-recv", 0, func(p *kernel.Proc) {
+		s := server.NewUDPSocket(p)
+		_ = server.BindUDP(s, 7)
+		p.Sleep(&kernel.WaitQ{})
+	})
+	good := pkt.UDPPacket(AddrA, AddrB, 9, 7, 1, 64, make([]byte, 14), true)
+	bad := pkt.Corrupt(good)
+	gap := sim.Second / rate
+	var pump func()
+	pump = func() {
+		if r.eng.Now() >= dur {
+			return
+		}
+		r.nw.Inject(bad)
+		r.eng.After(gap, pump)
+	}
+	r.eng.At(0, pump)
+	r.eng.RunFor(dur)
+	share := float64(victim.UTime) / float64(dur)
+	opt.progress(fmt.Sprintf("ablation corrupt-flood %s: victim share %.2f", sys.Name, share))
+	r.shutdown()
+	return share
 }
 
 // IdleThreadLatency isolates §3.3's idle-time protocol processing: a
@@ -146,7 +154,9 @@ func IdleThreadLatency(opt Options) []AblationRow {
 		return float64(sum) / float64(n)
 	}
 	vals := runner.Map(opt.pool(), []bool{false, true}, func(_ int, noIdle bool) float64 {
-		return run(noIdle)
+		var v float64
+		labeled("SOFT-LRP", func() { v = run(noIdle) })
+		return v
 	})
 	with, without := vals[0], vals[1]
 	opt.progress(fmt.Sprintf("ablation idle-thread: recv call %.0fµs with, %.0fµs without", with, without))
@@ -201,7 +211,8 @@ func EarlyDiscardContribution(opt Options) []AblationRow {
 	}
 	type edResult struct{ hw, lost int }
 	vals := runner.Map(opt.pool(), []bool{false, true}, func(_ int, unbounded bool) edResult {
-		hw, lost := run(unbounded)
+		var hw, lost int
+		labeled("SOFT-LRP", func() { hw, lost = run(unbounded) })
 		return edResult{hw, lost}
 	})
 	hwBounded, lostBounded := vals[0].hw, vals[0].lost
@@ -264,7 +275,9 @@ func FilterDemuxAblation(opt Options) []AblationRow {
 	// Cell order matches the serial loop: (decoys, hand), (decoys, interp).
 	cells := runner.Cross(decoyCounts, []bool{false, true})
 	vals := runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[int, bool]) float64 {
-		return run(c.B, c.A)
+		var v float64
+		labeled("SOFT-LRP", func() { v = run(c.B, c.A) })
+		return v
 	})
 	var rows []AblationRow
 	for i, decoys := range decoyCounts {

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"lrp/internal/race"
 	"lrp/internal/results"
 )
 
@@ -83,6 +84,58 @@ func TestSuiteRerunIdentical(t *testing.T) {
 	a, b := run(), run()
 	if !bytes.Equal(a, b) {
 		t.Fatalf("quick suite diverged between first and second in-process run (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestSuiteParallelismInvariant is the suite-level determinism contract
+// behind `lrpbench all`: RunSuite at -parallel 1 (strictly sequential
+// drivers) and at -parallel 8 (all drivers concurrent, every simulation
+// world drawn from one shared pool) must produce byte-identical JSON.
+// This is the cross-driver scheduler's proof obligation — canonical
+// assembly order plus private deterministic worlds — at quick scale.
+func TestSuiteParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite twice; skipped in -short")
+	}
+	if race.Enabled {
+		t.Skip("full quick suite twice; too slow under the race detector (concurrency is covered by TestParallelMatchesSerialAcrossDrivers)")
+	}
+	encode := func(parallel int) []byte {
+		suite, err := RunSuite(Options{Quick: true, Seed: 1, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := suite.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(1), encode(8)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("suite JSON diverged between -parallel 1 and -parallel 8 (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestSuiteCallbacks checks the ExpStart/ExpDone plumbing RunSuite
+// offers the CLI's -v timing output: one start and one done per
+// experiment, under concurrent drivers.
+func TestSuiteCallbacks(t *testing.T) {
+	var mu sync.Mutex
+	started := map[string]int{}
+	finished := map[string]int{}
+	names := []string{"table1", "media"}
+	opt := Options{Quick: true, Seed: 1, Parallel: 4,
+		ExpStart: func(name string) { mu.Lock(); started[name]++; mu.Unlock() },
+		ExpDone:  func(name string) { mu.Lock(); finished[name]++; mu.Unlock() },
+	}
+	if _, err := RunSuite(opt, names...); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if started[name] != 1 || finished[name] != 1 {
+			t.Errorf("%s: started %d finished %d, want 1/1", name, started[name], finished[name])
+		}
 	}
 }
 

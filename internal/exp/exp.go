@@ -8,6 +8,9 @@
 package exp
 
 import (
+	"context"
+	"runtime/pprof"
+
 	"lrp/internal/core"
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
@@ -38,6 +41,17 @@ type Options struct {
 	// engine and results are assembled in declaration order, so the
 	// value changes wall-clock time only — never any result.
 	Parallel int
+	// Pool, when non-nil, is a shared worker pool that the driver's
+	// sweeps draw from instead of a private Parallel-worker pool.
+	// RunSuite sets it so one bound governs every simulation world
+	// across all concurrently-running experiments.
+	Pool *runner.Pool
+	// ExpStart and ExpDone, when set, are invoked by RunSuite as each
+	// experiment driver starts and finishes. With Parallel > 1 drivers
+	// run concurrently, so the callbacks must be safe to call from
+	// multiple goroutines.
+	ExpStart func(name string)
+	ExpDone  func(name string)
 }
 
 func (o Options) progress(s string) {
@@ -46,8 +60,22 @@ func (o Options) progress(s string) {
 	}
 }
 
-// pool returns the worker pool the drivers sweep over.
-func (o Options) pool() *runner.Pool { return runner.NewPool(o.Parallel) }
+// pool returns the worker pool the drivers sweep over: the suite-shared
+// pool when one is set, else a private pool of Parallel workers.
+func (o Options) pool() *runner.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return runner.NewPool(o.Parallel)
+}
+
+// labeled runs fn under a pprof "arch" label, so a -cpuprofile of a run
+// attributes samples to the architecture being simulated. Combined with
+// the per-experiment label applied by RunExperiment, profile samples
+// split by (experiment, arch); see EXPERIMENTS.md for the workflow.
+func labeled(arch string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("arch", arch), func(context.Context) { fn() })
+}
 
 // System identifies a benchmarked kernel configuration: an architecture
 // plus a cost model (Table 1 additionally measures the vendor SunOS/Fore

@@ -187,7 +187,8 @@ func Faults(opt Options) []FaultCurve {
 			Run: func(sys System, si int) FaultPoint {
 				sev := sevs[si]
 				seed := opt.Seed + uint64(ci*101+si+1)
-				p := udpFaultPoint(sys, sev, def.install, seed, opt)
+				var p FaultPoint
+				labeled(sys.Name, func() { p = udpFaultPoint(sys, sev, def.install, seed, opt) })
 				opt.progress(fmt.Sprintf("faults/%s: %s sev=%g goodput=%.0f p99=%dµs lost=%d victim=%.2f",
 					def.impairment, sys.Name, sev, p.GoodputPps, p.P99Us, p.ProbesLost, p.VictimShare))
 				return p
@@ -302,7 +303,8 @@ func tcpReorderCurve(opt Options) FaultCurve {
 		Axis:    idx,
 		Run: func(sys System, si int) FaultPoint {
 			delay := delays[si]
-			p := tcpFaultPoint(sys, delay, opt.Seed+uint64(0x5000+si), opt)
+			var p FaultPoint
+			labeled(sys.Name, func() { p = tcpFaultPoint(sys, delay, opt.Seed+uint64(0x5000+si), opt) })
 			opt.progress(fmt.Sprintf("faults/tcp-reorder: %s delay=%dµs tcp=%.1f Mbit/s", sys.Name, delay, p.TCPMbps))
 			return p
 		},

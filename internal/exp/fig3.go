@@ -38,7 +38,8 @@ func Fig3(opt Options) []Fig3Series {
 		Systems: OverloadSystems(),
 		Axis:    fig3Rates(opt.Quick),
 		Run: func(sys System, rate int64) Fig3Point {
-			d, _ := fig3Run(sys, rate, opt)
+			var d float64
+			labeled(sys.Name, func() { d, _ = fig3Run(sys, rate, opt) })
 			opt.progress(fmt.Sprintf("fig3: %s offered=%d delivered=%.0f", sys.Name, rate, d))
 			return Fig3Point{Offered: rate, Delivered: d}
 		},
@@ -122,21 +123,23 @@ func MLFRR(opt Options) []MLFRRRow {
 	return runner.Map(opt.pool(), systems, func(_ int, sys System) MLFRRRow {
 		row := MLFRRRow{System: sys.Name}
 		lossFree := int64(0)
-		for rate := int64(2000); rate <= 20000; rate += step {
-			d, drops := fig3Run(sys, rate, opt)
-			if d > row.Peak {
-				row.Peak = d
-			}
-			if drops == 0 {
-				lossFree = rate
-			} else if rate > lossFree+4*step {
-				// Well past the loss-free region; the peak search can
-				// stop once throughput declines.
-				if d < row.Peak*0.85 {
-					break
+		labeled(sys.Name, func() {
+			for rate := int64(2000); rate <= 20000; rate += step {
+				d, drops := fig3Run(sys, rate, opt)
+				if d > row.Peak {
+					row.Peak = d
+				}
+				if drops == 0 {
+					lossFree = rate
+				} else if rate > lossFree+4*step {
+					// Well past the loss-free region; the peak search can
+					// stop once throughput declines.
+					if d < row.Peak*0.85 {
+						break
+					}
 				}
 			}
-		}
+		})
 		row.MLFRR = lossFree
 		opt.progress(fmt.Sprintf("mlfrr: %s = %d (peak %.0f)", sys.Name, row.MLFRR, row.Peak))
 		return row

@@ -36,7 +36,9 @@ func Fig4(opt Options) []Fig4Series {
 		Systems: LatencySystems(),
 		Axis:    fig4Rates(opt.Quick),
 		Run: func(sys System, rate int64) Fig4Point {
-			rtt, lost := fig4Run(sys, rate, opt)
+			var rtt float64
+			var lost int
+			labeled(sys.Name, func() { rtt, lost = fig4Run(sys, rate, opt) })
 			opt.progress(fmt.Sprintf("fig4: %s bg=%d rtt=%.0f lost=%d", sys.Name, rate, rtt, lost))
 			return Fig4Point{BgRate: rate, RTTMicros: rtt, Lost: lost}
 		},

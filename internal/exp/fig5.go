@@ -43,7 +43,8 @@ func Fig5(opt Options) []Fig5Series {
 		Systems: fig5Systems(),
 		Axis:    fig5Rates(opt.Quick),
 		Run: func(sys System, rate int64) Fig5Point {
-			tput := fig5Run(sys, rate, opt)
+			var tput float64
+			labeled(sys.Name, func() { tput = fig5Run(sys, rate, opt) })
 			opt.progress(fmt.Sprintf("fig5: %s syn=%d http/s=%.1f", sys.Name, rate, tput))
 			return Fig5Point{SYNRate: rate, HTTPPerSec: tput}
 		},

@@ -21,7 +21,8 @@ type MediaRow = results.MediaRow
 func MediaJitter(opt Options) []MediaRow {
 	cells := runner.Cross(LatencySystems(), []int64{0, 6000})
 	return runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[System, int64]) MediaRow {
-		r := mediaRun(c.A, c.B, opt)
+		var r MediaRow
+		labeled(c.A.Name, func() { r = mediaRun(c.A, c.B, opt) })
 		opt.progress(fmt.Sprintf("media: %s bg=%d mean=%.0fµs p99=%dµs",
 			r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs))
 		return r

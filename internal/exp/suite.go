@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 
 	"lrp/internal/results"
+	"lrp/internal/runner"
 )
 
 // Experiments lists the eight experiment names in canonical suite
@@ -17,49 +20,92 @@ var Experiments = []string{
 
 // RunExperiment runs one named experiment and returns its typed
 // payload. Unknown names are an error, not a panic, so the CLI can
-// reject bad verbs cleanly.
+// reject bad verbs cleanly. The run executes under a pprof
+// "experiment" label so CPU profiles attribute samples per experiment.
 func RunExperiment(name string, opt Options) (results.Experiment, error) {
 	e := results.Experiment{Name: name}
-	switch name {
-	case "table1":
-		e.Table1 = Table1(opt)
-	case "fig3":
-		e.Fig3 = Fig3(opt)
-	case "mlfrr":
-		e.MLFRR = MLFRR(opt)
-	case "fig4":
-		e.Fig4 = Fig4(opt)
-	case "table2":
-		e.Table2 = Table2(opt)
-	case "fig5":
-		e.Fig5 = Fig5(opt)
-	case "ablations":
-		e.Ablations = Ablations(opt)
-	case "media":
-		e.Media = MediaJitter(opt)
-	case "faults":
-		e.Faults = Faults(opt)
-	default:
-		return results.Experiment{}, fmt.Errorf("exp: unknown experiment %q", name)
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("experiment", name), func(context.Context) {
+		switch name {
+		case "table1":
+			e.Table1 = Table1(opt)
+		case "fig3":
+			e.Fig3 = Fig3(opt)
+		case "mlfrr":
+			e.MLFRR = MLFRR(opt)
+		case "fig4":
+			e.Fig4 = Fig4(opt)
+		case "table2":
+			e.Table2 = Table2(opt)
+		case "fig5":
+			e.Fig5 = Fig5(opt)
+		case "ablations":
+			e.Ablations = Ablations(opt)
+		case "media":
+			e.Media = MediaJitter(opt)
+		case "faults":
+			e.Faults = Faults(opt)
+		default:
+			err = fmt.Errorf("exp: unknown experiment %q", name)
+		}
+	})
+	if err != nil {
+		return results.Experiment{}, err
 	}
 	return e, nil
 }
 
-// RunSuite runs the named experiments (all eight when names is empty)
-// into a fresh suite. Experiments run one after another in the given
-// order; parallelism lives inside each driver's sweep, so suite output
-// is deterministic for a given seed regardless of Options.Parallel.
+// RunSuite runs the named experiments (the canonical eight when names
+// is empty) into a fresh suite. With Parallel <= 1 the drivers run
+// sequentially in the given order. With Parallel > 1 all drivers run
+// concurrently and every sweep point across the whole suite draws from
+// one shared Parallel-worker pool, so independent simulation worlds
+// from different experiments overlap instead of each driver's stragglers
+// serializing the suite. Results are assembled in canonical order and
+// every world is a private deterministic simulation, so suite output is
+// byte-identical for any Parallel value.
 func RunSuite(opt Options, names ...string) (*results.Suite, error) {
 	if len(names) == 0 {
 		names = Experiments
 	}
 	s := results.NewSuite(opt.Seed, opt.Quick)
-	for _, name := range names {
-		e, err := RunExperiment(name, opt)
-		if err != nil {
-			return nil, err
+	concurrent := opt.Parallel > 1 && len(names) > 1
+	if concurrent && opt.Pool == nil {
+		opt.Pool = runner.NewPool(opt.Parallel)
+	}
+	type outcome struct {
+		e   results.Experiment
+		err error
+	}
+	runOne := func(name string) outcome {
+		if opt.ExpStart != nil {
+			opt.ExpStart(name)
 		}
-		s.Add(e)
+		e, err := RunExperiment(name, opt)
+		if opt.ExpDone != nil {
+			opt.ExpDone(name)
+		}
+		return outcome{e: e, err: err}
+	}
+	var outs []outcome
+	if concurrent {
+		// The drivers are coordinators: they hold no pool slot themselves
+		// (see runner.Concurrent), so their sweep jobs share opt.Pool
+		// without risk of starving each other.
+		outs = runner.Concurrent(names, func(_ int, name string) outcome {
+			return runOne(name)
+		})
+	} else {
+		outs = make([]outcome, 0, len(names))
+		for _, name := range names {
+			outs = append(outs, runOne(name))
+		}
+	}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		s.Add(o.e)
 	}
 	return s, nil
 }

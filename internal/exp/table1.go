@@ -35,7 +35,9 @@ func Table1(opt Options) []Table1Row {
 	vals := runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[System, int]) float64 {
 		m := table1Metrics[c.B]
 		opt.progress("table1: " + c.A.Name + " " + m.Name)
-		return m.Fn(c.A, opt)
+		var v float64
+		labeled(c.A.Name, func() { v = m.Fn(c.A, opt) })
+		return v
 	})
 	rows := make([]Table1Row, len(systems))
 	for i, sys := range systems {

@@ -39,7 +39,8 @@ func Table2(opt Options) []Table2Row {
 	// BSD, NI-LRP, SOFT-LRP per workload; workload-major row order.
 	cells := runner.Cross(table2Workloads, LatencySystems())
 	return runner.Map(opt.pool(), cells, func(_ int, c runner.Pair[table2Workload, System]) Table2Row {
-		row := table2Run(c.B, c.A.Name, c.A.PerCall, c.A.Interval, opt)
+		var row Table2Row
+		labeled(c.B.Name, func() { row = table2Run(c.B, c.A.Name, c.A.PerCall, c.A.Interval, opt) })
 		opt.progress(fmt.Sprintf("table2: %s/%s elapsed=%.1fs rate=%.0f share=%.2f",
 			c.A.Name, c.B.Name, row.WorkerElapsed, row.ServerRPCRate, row.WorkerShare))
 		return row

@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"testing"
+
+	"lrp/internal/race"
+	"lrp/internal/sim"
+)
+
+// TestSwitchPathZeroAllocs pins the direct-handoff switch path at zero
+// allocations per operation: the Consume keep-CPU fast path, the
+// proc-to-proc context switch, and the sleep/timeout/wakeup cycle.
+// Requests travel as typed fields on the Proc (no interface boxing) and
+// all the closures involved are cached at Spawn/New time, so once wait
+// queues and free lists are warm nothing on these paths may allocate.
+func TestSwitchPathZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+
+	t.Run("consume", func(t *testing.T) {
+		eng := sim.NewEngine()
+		k := New(eng, "alloc")
+		k.Spawn("worker", 0, func(p *Proc) {
+			for {
+				p.Compute(10)
+			}
+		})
+		eng.RunFor(sim.Millisecond) // warm: free lists, heap backing array
+		if n := testing.AllocsPerRun(100, func() {
+			eng.RunFor(10) // exactly one Compute round trip
+		}); n != 0 {
+			t.Errorf("Consume round trip allocates %v per op, want 0", n)
+		}
+		k.Shutdown()
+	})
+
+	t.Run("context-switch", func(t *testing.T) {
+		eng := sim.NewEngine()
+		k := New(eng, "alloc")
+		var aq, bq WaitQ
+		k.Spawn("a", 0, func(p *Proc) {
+			for {
+				p.Compute(5)
+				bq.WakeupAll()
+				p.Sleep(&aq)
+			}
+		})
+		k.Spawn("b", 0, func(p *Proc) {
+			for {
+				p.Compute(5)
+				aq.WakeupAll()
+				p.Sleep(&bq)
+			}
+		})
+		eng.RunFor(sim.Millisecond) // warm: wait-queue slices at high-water
+		if n := testing.AllocsPerRun(100, func() {
+			eng.RunFor(5) // one burst + handoff to the other proc
+		}); n != 0 {
+			t.Errorf("context switch allocates %v per op, want 0", n)
+		}
+		k.Shutdown()
+	})
+
+	t.Run("sleep-timeout", func(t *testing.T) {
+		eng := sim.NewEngine()
+		k := New(eng, "alloc")
+		var wq WaitQ
+		k.Spawn("sleeper", 0, func(p *Proc) {
+			for {
+				p.SleepTimeout(&wq, 10)
+			}
+		})
+		eng.RunFor(sim.Millisecond)
+		if n := testing.AllocsPerRun(100, func() {
+			eng.RunFor(10) // one park + timer fire + wakeup + dispatch
+		}); n != 0 {
+			t.Errorf("sleep/timeout cycle allocates %v per op, want 0", n)
+		}
+		k.Shutdown()
+	})
+}

@@ -1,0 +1,132 @@
+package kernel
+
+import (
+	"testing"
+
+	"lrp/internal/sim"
+)
+
+// The kernel benchmarks measure the simulator's own execution engine: how
+// much real CPU one simulated context switch, one Consume round trip, and
+// one sleep/wakeup cycle cost. Every experiment in the suite is built out
+// of millions of these operations, so they are the denominator of total
+// suite wall-clock time. BENCH_kernel.json records before/after numbers
+// for the direct-handoff switch-path rework.
+
+// benchKernel builds a kernel on a fresh engine.
+func benchKernel() (*sim.Engine, *Kernel) {
+	eng := sim.NewEngine()
+	return eng, New(eng, "bench")
+}
+
+// BenchmarkConsume measures the Compute round trip of a single process
+// that keeps the CPU: the process requests a 10 µs burst, the burst
+// completes, and the same process continues. One op = one Compute call.
+// This is the path the direct-handoff design makes switch-free.
+func BenchmarkConsume(b *testing.B) {
+	eng, k := benchKernel()
+	k.Spawn("worker", 0, func(p *Proc) {
+		for {
+			p.Compute(10)
+		}
+	})
+	eng.RunFor(sim.Millisecond) // settle: clocks armed, free lists warm
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 10)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkConsumeSys is BenchmarkConsume for system-time bursts with an
+// explicit charge target, the LRP protocol-thread accounting path.
+func BenchmarkConsumeSys(b *testing.B) {
+	eng, k := benchKernel()
+	var owner *Proc
+	owner = k.Spawn("owner", 0, func(p *Proc) {
+		for {
+			p.Compute(10)
+		}
+	})
+	k.Spawn("proto", 0, func(p *Proc) {
+		for {
+			p.ComputeSysFor(owner, 10)
+		}
+	})
+	eng.RunFor(sim.Millisecond)
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 10)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkContextSwitch measures a full simulated context switch: two
+// equal-priority processes alternately compute, wake the other, and
+// sleep. One op = one handoff from one process goroutine to the other.
+func BenchmarkContextSwitch(b *testing.B) {
+	eng, k := benchKernel()
+	var aq, bq WaitQ
+	k.Spawn("a", 0, func(p *Proc) {
+		for {
+			p.Compute(5)
+			bq.WakeupAll()
+			p.Sleep(&aq)
+		}
+	})
+	k.Spawn("b", 0, func(p *Proc) {
+		for {
+			p.Compute(5)
+			aq.WakeupAll()
+			p.Sleep(&bq)
+		}
+	})
+	eng.RunFor(sim.Millisecond)
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 5)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkSleepWakeup measures the timer path: a process sleeps with a
+// timeout and is woken by the engine each cycle. One op = one
+// SleepTimeout round trip (park, timer event, wakeup, dispatch).
+func BenchmarkSleepWakeup(b *testing.B) {
+	eng, k := benchKernel()
+	var wq WaitQ
+	k.Spawn("sleeper", 0, func(p *Proc) {
+		for {
+			p.SleepTimeout(&wq, 10)
+		}
+	})
+	eng.RunFor(sim.Millisecond)
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 10)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkInterruptedConsume measures a compute burst that is repeatedly
+// preempted by interrupt-level work, the overload scenario of Figure 3:
+// the process must resume its burst after every interrupt without a
+// process-level context switch.
+func BenchmarkInterruptedConsume(b *testing.B) {
+	eng, k := benchKernel()
+	k.Spawn("worker", 0, func(p *Proc) {
+		for {
+			p.Compute(10)
+		}
+	})
+	var post func()
+	post = func() {
+		if k.shutdown {
+			return
+		}
+		k.PostHW(WorkItem{Cost: 2})
+		eng.After(10, post)
+	}
+	eng.After(10, post)
+	eng.RunFor(sim.Millisecond)
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 12)
+	b.StopTimer()
+	k.Shutdown()
+}

@@ -14,8 +14,12 @@
 // that happens to execute when a packet arrives").
 //
 // Application code runs on per-process goroutines that are strictly
-// interlocked with the engine goroutine, so the whole simulation executes
-// one goroutine at a time and is fully deterministic.
+// interlocked with the engine so the whole simulation executes one
+// goroutine at a time and is fully deterministic. Control moves by
+// direct handoff (sim.Coro): a process step requested by the scheduler
+// switches straight to the process goroutine and back, and a process
+// that keeps the CPU after a burst fires its own burst-completion event
+// in place and continues without any goroutine switch. See DESIGN.md §9.
 package kernel
 
 import (
@@ -129,6 +133,10 @@ type Kernel struct {
 	burstStart sim.Time
 	idleStart  sim.Time
 
+	// burstDoneFn caches the onBurstDone method value so opening a burst
+	// does not allocate a closure.
+	burstDoneFn func()
+
 	// curProc is the BSD "curproc": the process most recently dispatched.
 	// Interrupt time with no explicit charge target is charged here.
 	curProc *Proc
@@ -136,6 +144,10 @@ type Kernel struct {
 	// switch cost and cache-penalty modelling.
 	lastOnCPU *Proc
 
+	// inSched is held while the scheduling loop runs and, crucially, for
+	// the whole of every dispatched user step: kernel calls made by user
+	// code (wakeups, interrupt posts) defer their reschedule to the step's
+	// end via needResched instead of recursing into the dispatcher.
 	inSched     bool
 	needResched bool
 	rrBypass    bool
@@ -151,6 +163,7 @@ type Kernel struct {
 // New creates a kernel on eng and starts its periodic scheduler machinery.
 func New(eng *sim.Engine, name string) *Kernel {
 	k := &Kernel{Eng: eng, Name: name, idleStart: eng.Now()}
+	k.burstDoneFn = k.onBurstDone
 	k.startClocks()
 	return k
 }
@@ -228,13 +241,19 @@ func (k *Kernel) SWPending() int { return len(k.swQ) }
 // simulated time only through Proc methods.
 func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
 	p := &Proc{
-		K:      k,
-		Name:   name,
-		Nice:   nice,
-		state:  stateRunnable,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
-		done:   make(chan struct{}),
+		K:     k,
+		Name:  name,
+		Nice:  nice,
+		state: stateRunnable,
+		coro:  k.Eng.NewCoro(),
+		done:  make(chan struct{}),
+	}
+	p.timeoutFn = func() {
+		p.timeoutEv = sim.Event{}
+		if p.state == stateSleeping {
+			p.timedOut = true
+			p.wakeup()
+		}
 	}
 	p.recomputePrio()
 	k.procs = append(k.procs, p)
@@ -256,13 +275,13 @@ func (k *Kernel) Shutdown() {
 		if p.state == stateDead {
 			continue
 		}
-		p.killed = true
+		p.coro.Kill()
 		if !p.timeoutEv.IsZero() {
 			k.Eng.Cancel(p.timeoutEv)
 			p.timeoutEv = sim.Event{}
 		}
 		p.state = stateDead
-		p.resume <- struct{}{}
+		p.coro.Signal()
 		<-p.done
 	}
 	k.runq = nil
@@ -392,7 +411,13 @@ func (k *Kernel) closeBurst() {
 
 // reschedule is the dispatcher: it decides which band/process should own
 // the CPU and opens a burst for it. Re-entrant calls (from code running
-// inside a dispatched process step) are deferred to the outer loop.
+// inside a dispatched process step) are deferred to the step's end.
+//
+// inSched is managed explicitly rather than with defer because of the
+// self-dispatch early return: when the scheduling loop picks the very
+// process whose goroutine is executing it, the loop returns with inSched
+// still held — that process resumes user code, and the flag is its
+// user-window guard until its next yield releases it.
 func (k *Kernel) reschedule() {
 	if k.inSched {
 		k.needResched = true
@@ -402,7 +427,6 @@ func (k *Kernel) reschedule() {
 		return
 	}
 	k.inSched = true
-	defer func() { k.inSched = false }()
 
 	for {
 		k.needResched = false
@@ -416,15 +440,19 @@ func (k *Kernel) reschedule() {
 			p := k.pickProc()
 			if p == nil {
 				// Idle: idleStart was set by closeBurst.
+				k.inSched = false
 				return
 			}
 			if p.pendingWork <= 0 {
-				k.runProcStep(p)
+				if k.runProcStep(p) {
+					return // self-dispatch: inSched stays held for the user window
+				}
 				continue // process state changed; re-pick
 			}
 			k.openProcBurst(p)
 		}
 		if !k.needResched {
+			k.inSched = false
 			return
 		}
 	}
@@ -439,14 +467,18 @@ func (k *Kernel) openItemBurst(b band, it *WorkItem) {
 	if cost < 0 {
 		cost = 0
 	}
-	k.burstEv = k.Eng.After(cost, k.onBurstDone)
+	k.burstEv = k.Eng.After(cost, k.burstDoneFn)
 }
 
 // openProcBurst starts executing p's pending work, applying context-switch
 // and cache-refill costs when the CPU is changing hands.
+//
+//lrp:hotpath
 func (k *Kernel) openProcBurst(p *Proc) {
 	if k.lastOnCPU != p {
-		k.Trace.Add(trace.KindDispatch, "%s: %s takes CPU (prio %d)", k.Name, p.Name, p.Prio())
+		if k.Trace != nil {
+			k.Trace.Add(trace.KindDispatch, "%s: %s takes CPU (prio %d)", k.Name, p.Name, p.Prio()) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+		}
 		if k.lastOnCPU != nil {
 			k.stats.CtxSwitches++
 			p.CtxSwitches++
@@ -469,75 +501,135 @@ func (k *Kernel) openProcBurst(p *Proc) {
 	k.cur = bandProc
 	k.curRunProc = p
 	k.burstStart = k.Eng.Now()
-	k.burstEv = k.Eng.After(p.pendingWork, k.onBurstDone)
+	k.burstEv = k.Eng.After(p.pendingWork, k.burstDoneFn)
 }
 
 // onBurstDone fires when the current burst's work is exhausted.
+//
+//lrp:hotpath
 func (k *Kernel) onBurstDone() {
 	was, item, p := k.cur, k.curItem, k.curRunProc
 	k.closeBurst()
 	switch was {
 	case bandHW:
 		k.hwQ = k.hwQ[1:]
-		k.Trace.Add(trace.KindIntr, "%s: hw work done", k.Name)
+		if k.Trace != nil {
+			k.Trace.Add(trace.KindIntr, "%s: hw work done", k.Name) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+		}
 		if item.Fn != nil {
 			item.Fn()
 		}
 	case bandSW:
 		k.swQ = k.swQ[1:]
-		k.Trace.Add(trace.KindSoftIntr, "%s: sw work done", k.Name)
+		if k.Trace != nil {
+			k.Trace.Add(trace.KindSoftIntr, "%s: sw work done", k.Name) //lrp:coldalloc vararg boxing; only reached with tracing enabled
+		}
 		if item.Fn != nil {
 			item.Fn()
 		}
 	case bandProc:
 		if p.pendingWork <= 0 {
-			k.runProcStepOuter(p)
+			// Tail handoff: the process resumes its user step on this
+			// very goroutine (free when it fired its own burst event);
+			// its next yield applies the request and reschedules — the
+			// same [user step, apply, reschedule] sequence the central
+			// dispatcher used to run, minus the goroutine round trip.
+			k.dispatchContinue(p)
+			return
 		}
 	}
 	k.reschedule()
 }
 
-// runProcStepOuter runs a process step from outside the scheduler loop.
-func (k *Kernel) runProcStepOuter(p *Proc) {
-	if k.inSched {
-		k.runProcStep(p)
-		return
-	}
+// dispatchContinue grants p the CPU after its burst completed, by direct
+// handoff. Must be the last action of its caller's event: nothing may
+// run after it until p's next yield. inSched is taken as the user-window
+// guard and released by that yield.
+//
+//lrp:hotpath
+func (k *Kernel) dispatchContinue(p *Proc) {
+	k.curProc = p
+	p.state = stateRunning
+	p.resumedBy = nil
+	p.dispatched = true
 	k.inSched = true
-	k.runProcStep(p)
-	k.inSched = false
+	if k.Eng.Handoff(p.coro) {
+		panic(errKilled)
+	}
 }
 
 // runProcStep transfers control to p's goroutine until it issues its next
-// request, then applies that request. Called with inSched held.
-func (k *Kernel) runProcStep(p *Proc) {
+// request, then applies that request. Called from the scheduling loop with
+// inSched held.
+//
+// If p is the process whose goroutine is executing the loop (it just
+// yielded, and the scheduler picked it again), there is no goroutine to
+// switch to: runProcStep reports true and the loop returns, unwinding to
+// p's yield frame, which resumes user code directly. Otherwise the step
+// runs nested: this goroutine parks inside SwitchTo until p's next yield
+// switches back, preserving the exact operation order of the old central
+// dispatcher.
+//
+//lrp:hotpath
+func (k *Kernel) runProcStep(p *Proc) bool {
 	k.curProc = p
 	p.state = stateRunning
-	p.resume <- struct{}{}
-	<-p.parked
-	req := p.curReq
-	p.curReq = nil
-	switch r := req.(type) {
+	p.dispatched = true
+	self := k.Eng.Current()
+	if p.coro == self {
+		p.resumedBy = nil
+		return true
+	}
+	p.resumedBy = self
+	if k.Eng.SwitchTo(p.coro) {
+		panic(errKilled)
+	}
+	k.applyRequest(p)
+	return false
+}
+
+// drive runs the event loop from a process goroutine that owns it, until
+// the scheduler dispatches the process again. It fires only events that
+// are unambiguously its own — the process's burst completion at the head
+// of the queue, within the run horizon — and hands everything else to
+// the root coroutine, so the global event order is identical to a fully
+// root-driven run.
+//
+//lrp:hotpath
+func (k *Kernel) drive(p *Proc) {
+	for !p.dispatched {
+		if k.curRunProc == p && k.Eng.HeadIs(k.burstEv) && k.Eng.StepWithin() {
+			continue
+		}
+		if k.Eng.YieldToRoot() {
+			panic(errKilled)
+		}
+	}
+	p.dispatched = false
+}
+
+// applyRequest consumes p's pending request, updating scheduler state.
+// Runs on whichever goroutine is dispatching: the parked resumer for a
+// nested step, or p itself when it owns the event loop.
+//
+//lrp:hotpath
+func (k *Kernel) applyRequest(p *Proc) {
+	switch p.reqKind {
 	case reqConsume:
 		p.state = stateRunnable
-		p.pendingWork = r.d
-		p.pendingSys = r.sys
-		p.chargeTo = r.chargeTo
+		p.pendingWork = p.reqD
+		p.pendingSys = p.reqSys
+		p.chargeTo = p.reqChargeTo
 	case reqSleep:
 		p.state = stateSleeping
 		p.pendingWork = 0
 		k.removeRunnable(p)
-		p.wq = r.wq
-		r.wq.procs = append(r.wq.procs, p)
+		p.wq = p.reqWq
+		p.reqWq.procs = append(p.reqWq.procs, p) //lrp:coldalloc wait queues grow to high-water, then recycle capacity
+		p.reqWq = nil
 		p.timedOut = false
-		if r.timeout > 0 {
-			p.timeoutEv = k.Eng.After(r.timeout, func() {
-				p.timeoutEv = sim.Event{}
-				if p.state == stateSleeping {
-					p.timedOut = true
-					p.wakeup()
-				}
-			})
+		if p.reqTimeout > 0 {
+			p.timeoutEv = k.Eng.After(p.reqTimeout, p.timeoutFn)
 		}
 	case reqExit:
 		p.state = stateDead
@@ -545,11 +637,12 @@ func (k *Kernel) runProcStep(p *Proc) {
 		k.removeRunnable(p)
 		p.ExitTime = k.Now()
 		if p.crash != nil {
-			panic(fmt.Sprintf("kernel: process %q crashed: %v", p.Name, p.crash))
+			panic(fmt.Sprintf("kernel: process %q crashed: %v", p.Name, p.crash)) //lrp:coldalloc crash path
 		}
 	default:
-		panic(fmt.Sprintf("kernel: process %q issued unknown request %T", p.Name, req))
+		panic(fmt.Sprintf("kernel: process %q issued unknown request %d", p.Name, p.reqKind)) //lrp:coldalloc assertion path
 	}
+	p.reqKind = reqNone
 }
 
 // recomputePriorities refreshes priorities of all runnable processes.

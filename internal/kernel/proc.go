@@ -34,19 +34,19 @@ var (
 	errExited = errors.New("kernel: process exited")
 )
 
-// Requests a process goroutine can issue to the dispatcher.
-type reqConsume struct {
-	d        int64
-	sys      bool
-	chargeTo *Proc // nil: charge self
-}
+// reqKind identifies the request a process goroutine hands to the
+// scheduler at each yield. Requests are carried in typed Proc fields
+// (reqD, reqSys, ...) rather than an interface value so issuing one
+// never allocates — the switch path is exercised millions of times per
+// experiment.
+type reqKind uint8
 
-type reqSleep struct {
-	wq      *WaitQ
-	timeout int64 // 0: none
-}
-
-type reqExit struct{}
+const (
+	reqNone reqKind = iota
+	reqConsume
+	reqSleep
+	reqExit
+)
 
 // Proc is a simulated process (or kernel thread). Application logic runs on
 // the process goroutine and interacts with simulated time only through
@@ -98,27 +98,45 @@ type Proc struct {
 	wq        *WaitQ
 	timedOut  bool
 	timeoutEv sim.Event
+	timeoutFn func() // cached sleep-timeout callback, allocated once at Spawn
 
 	pendingWork   int64
 	pendingSys    bool
 	chargeTo      *Proc
 	lastBandEpoch uint64
 
-	resume chan struct{}
-	parked chan struct{}
-	done   chan struct{}
-	killed bool
-	curReq any
-	crash  any
+	// The pending request, valid from the yield that issues it until the
+	// scheduler applies it.
+	reqKind     reqKind
+	reqD        int64
+	reqSys      bool
+	reqChargeTo *Proc
+	reqWq       *WaitQ
+	reqTimeout  int64
+
+	coro *sim.Coro
+	// resumedBy, when non-nil, is the coroutine parked inside runProcStep
+	// waiting for this process's next request; the next yield switches
+	// straight back to it. Nil means the process was dispatched by direct
+	// handoff and owns the event loop itself.
+	resumedBy *sim.Coro
+	// dispatched is set by the scheduler when it selects this process to
+	// run and cleared by the process as it resumes user code. A parked
+	// process uses it to distinguish "run your next step" from "the event
+	// loop merely passed through your goroutine".
+	dispatched bool
+	done       chan struct{}
+	crash      any
 }
 
 // procMain is the goroutine body wrapping user code.
 func procMain(p *Proc, fn func(*Proc)) {
 	defer close(p.done)
-	<-p.resume
-	if p.killed {
+	p.coro.Park() // birth: wait for the first dispatch
+	if p.coro.Killed() {
 		return
 	}
+	p.dispatched = false
 	res := func() (r any) {
 		defer func() { r = recover() }()
 		fn(p)
@@ -130,64 +148,126 @@ func procMain(p *Proc, fn func(*Proc)) {
 	if res != nil && res != errExited {
 		p.crash = res
 	}
-	p.curReq = reqExit{}
-	p.parked <- struct{}{}
+	k := p.K
+	p.reqKind = reqExit
+	if rb := p.resumedBy; rb != nil {
+		// A dispatcher is parked in runProcStep waiting for this step's
+		// request; wake it as the goroutine unwinds and let it apply the
+		// exit, exactly as it applies any other request.
+		p.resumedBy = nil
+		k.Eng.LeaveTo(rb)
+		return
+	}
+	// This process owns the event loop: apply its own exit, pick the next
+	// work, and return the loop to the root coroutine on the way out.
+	k.applyRequest(p)
+	k.inSched = false
+	k.reschedule()
+	k.Eng.LeaveToRoot()
 }
 
-// yield hands control back to the dispatcher with a request and blocks
-// until the process is dispatched again.
-func (p *Proc) yield(r any) {
-	p.curReq = r
-	p.parked <- struct{}{}
-	<-p.resume
-	if p.killed {
-		panic(errKilled)
+// yield hands the pending request (already stored in p.req*) to the
+// scheduler and blocks until the process is dispatched again.
+//
+// Two postures, mirroring how the process was last dispatched. If a
+// dispatcher coroutine is parked in runProcStep waiting on us
+// (resumedBy), switch straight back: it applies the request and
+// continues its scheduling loop. Otherwise this process was dispatched
+// by direct handoff and owns the event loop itself: apply the request
+// in place, reschedule, and keep driving — if the scheduler picked us
+// again the yield returns without any goroutine switch at all.
+//
+//lrp:hotpath
+func (p *Proc) yield() {
+	k := p.K
+	if rb := p.resumedBy; rb != nil {
+		p.resumedBy = nil
+		if k.Eng.SwitchTo(rb) {
+			panic(errKilled)
+		}
+		p.dispatched = false
+		return
 	}
+	k.applyRequest(p)
+	k.inSched = false
+	k.reschedule()
+	k.drive(p)
 }
 
 // Compute consumes d microseconds of CPU as user time. The process may be
 // preempted and interrupted while computing; it returns once d microseconds
 // of CPU have actually been granted.
+//
+//lrp:hotpath
 func (p *Proc) Compute(d int64) {
 	if d <= 0 {
 		return
 	}
-	p.yield(reqConsume{d: d})
+	p.reqKind = reqConsume
+	p.reqD = d
+	p.reqSys = false
+	p.reqChargeTo = nil
+	p.yield()
 }
 
 // ComputeSys consumes d microseconds of CPU as system time (work done in
 // kernel context on this process's behalf: system calls, lazy protocol
 // processing, data copies).
+//
+//lrp:hotpath
 func (p *Proc) ComputeSys(d int64) {
 	if d <= 0 {
 		return
 	}
-	p.yield(reqConsume{d: d, sys: true})
+	p.reqKind = reqConsume
+	p.reqD = d
+	p.reqSys = true
+	p.reqChargeTo = nil
+	p.yield()
 }
 
 // ComputeSysFor consumes d microseconds of CPU as system time but charges
 // the scheduler usage to owner. The LRP asynchronous TCP processing thread
 // uses this so that "CPU usage is charged back to that application".
+//
+//lrp:hotpath
 func (p *Proc) ComputeSysFor(owner *Proc, d int64) {
 	if d <= 0 {
 		return
 	}
-	p.yield(reqConsume{d: d, sys: true, chargeTo: owner})
+	p.reqKind = reqConsume
+	p.reqD = d
+	p.reqSys = true
+	p.reqChargeTo = owner
+	p.yield()
 }
 
 // Sleep blocks the process on wq until a wakeup.
+//
+//lrp:hotpath
 func (p *Proc) Sleep(wq *WaitQ) {
-	p.yield(reqSleep{wq: wq})
+	p.reqKind = reqSleep
+	p.reqWq = wq
+	p.reqTimeout = 0
+	p.yield()
 }
 
 // SleepTimeout blocks the process on wq until a wakeup or until timeout
 // microseconds pass; it reports whether it timed out.
+//
+//lrp:hotpath
 func (p *Proc) SleepTimeout(wq *WaitQ, timeout int64) (timedOut bool) {
+	p.reqKind = reqSleep
+	p.reqWq = wq
+	if timeout > 0 {
+		p.reqTimeout = timeout
+	} else {
+		p.reqTimeout = 0
+	}
+	p.yield()
 	if timeout <= 0 {
-		p.yield(reqSleep{wq: wq})
 		return false
 	}
-	p.yield(reqSleep{wq: wq, timeout: timeout})
 	return p.timedOut
 }
 
@@ -198,7 +278,10 @@ func (p *Proc) Delay(d int64) {
 		return
 	}
 	var wq WaitQ
-	p.yield(reqSleep{wq: &wq, timeout: d})
+	p.reqKind = reqSleep
+	p.reqWq = &wq
+	p.reqTimeout = d
+	p.yield()
 }
 
 // Exit terminates the process immediately, unwinding its goroutine.

@@ -45,9 +45,15 @@ func (p *Pool) Workers() int {
 // goroutine and fn must not share mutable state across calls. A panic
 // in any job is re-raised on the caller's goroutine after all jobs
 // have drained.
+//
+// Even a single-item Map goes through the pool: when several sweeps
+// share one pool (suite-wide scheduling, see exp.RunSuite), the worker
+// bound must cover every simulation world, not just the multi-item
+// sweeps. Slots are held only while a job runs — never across the final
+// wait — so concurrent Map calls on a shared pool cannot deadlock.
 func Map[T, R any](p *Pool, items []T, fn func(int, T) R) []R {
 	out := make([]R, len(items))
-	if p.Workers() <= 1 || len(items) <= 1 {
+	if p.Workers() <= 1 {
 		for i, it := range items {
 			out[i] = fn(i, it)
 		}
@@ -67,6 +73,48 @@ func Map[T, R any](p *Pool, items []T, fn func(int, T) R) []R {
 					panicOnce.Do(func() { panicValue = r })
 				}
 				<-p.sem
+				wg.Done()
+			}()
+			out[i] = fn(i, items[i])
+		}(i)
+	}
+	wg.Wait()
+	if panicValue != nil {
+		panic(panicValue)
+	}
+	return out
+}
+
+// Concurrent runs fn(i, items[i]) for every item on its own goroutine,
+// unbounded, and returns the results in item order. A panic in any call
+// is re-raised on the caller's goroutine after all calls have drained.
+//
+// It exists for coordinators — code that does no simulation work itself
+// but fans out sweeps over a shared Pool (the suite runner launching
+// experiment drivers). Coordinators must not occupy pool slots: a
+// coordinator blocked inside a slot while its own sweep jobs wait for
+// slots would deadlock the pool. Never use Concurrent for the
+// simulation jobs themselves; that is what Map's bound is for.
+func Concurrent[T, R any](items []T, fn func(int, T) R) []R {
+	out := make([]R, len(items))
+	if len(items) <= 1 {
+		for i, it := range items {
+			out[i] = fn(i, it)
+		}
+		return out
+	}
+	var (
+		wg         sync.WaitGroup
+		panicOnce  sync.Once
+		panicValue any
+	)
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicValue = r })
+				}
 				wg.Done()
 			}()
 			out[i] = fn(i, items[i])

@@ -1,0 +1,132 @@
+package sim
+
+// Coroutine support for the simulated kernel's processes.
+//
+// The kernel runs application logic on one goroutine per simulated
+// process, strictly interlocked so that exactly one goroutine is
+// runnable at any instant. Rather than bouncing every process step
+// through a central dispatcher goroutine (two channel round trips per
+// step), control moves by direct handoff: whichever goroutine must run
+// next is woken in a single channel operation, and a process that keeps
+// the simulated CPU fires its own burst-completion event in place and
+// continues with no goroutine switch at all.
+//
+// Determinism is unaffected: the event heap fixes the total order of
+// events, and the strict one-runnable-goroutine discipline means the
+// order of all state mutations is identical no matter which goroutine
+// happens to host a given event. Every handoff is a channel send/receive
+// pair, so the race detector sees a happens-before edge across every
+// transfer of engine state between goroutines.
+
+// Coro is one parked coroutine: the root (whoever called RunUntil) or a
+// simulated process. Its channel has capacity 1 so a wake posted before
+// the target has parked — a freshly spawned process, for example — is
+// never lost and never blocks the waker.
+type Coro struct {
+	wake   chan struct{}
+	killed bool
+}
+
+// NewCoro returns a coroutine handle ready to park.
+func (e *Engine) NewCoro() *Coro {
+	return &Coro{wake: make(chan struct{}, 1)}
+}
+
+// Kill marks the coroutine for teardown: its next wake-up reports
+// killed=true and the owner must unwind without touching engine state.
+func (c *Coro) Kill() { c.killed = true }
+
+// Killed reports whether Kill has been called. A coroutine checks this
+// after its birth Park, the one wake-up site that predates user code.
+func (c *Coro) Killed() bool { return c.killed }
+
+// Signal posts a wake token without parking the caller. Used by teardown
+// (Kill+Signal) and by dying coroutines that pass the loop on as they
+// exit.
+func (c *Coro) Signal() { c.wake <- struct{}{} }
+
+// Park blocks until the coroutine is signalled. Exposed for the
+// coroutine's birth park, before it has ever run.
+func (c *Coro) Park() { <-c.wake }
+
+// Current returns the coroutine executing right now. The kernel uses it
+// to record who to switch back to after a nested process step.
+func (e *Engine) Current() *Coro { return e.cur }
+
+// Root returns the root coroutine (the goroutine driving RunUntil).
+func (e *Engine) Root() *Coro { return &e.root }
+
+// SwitchTo wakes `to` and parks the caller until somebody switches back.
+// The caller's goroutine resumes when it is next woken; the return value
+// reports whether it was woken for teardown (Kill) rather than to
+// continue.
+//
+//lrp:hotpath
+func (e *Engine) SwitchTo(to *Coro) (killed bool) {
+	from := e.cur
+	e.cur = to
+	to.wake <- struct{}{}
+	<-from.wake
+	return from.killed
+}
+
+// Handoff transfers control to `to` and parks the caller. If `to` is
+// already the executing coroutine this is free: no channel operation, no
+// goroutine switch — the fast path for a process that keeps the CPU
+// after its own burst completes.
+//
+//lrp:hotpath
+func (e *Engine) Handoff(to *Coro) (killed bool) {
+	if e.cur == to {
+		return false
+	}
+	return e.SwitchTo(to)
+}
+
+// YieldToRoot parks the caller and resumes the root coroutine — a
+// process coroutine has nothing it may run in place (it is going to
+// sleep, was preempted, or the next event is not its own to fire).
+func (e *Engine) YieldToRoot() (killed bool) {
+	return e.SwitchTo(&e.root)
+}
+
+// LeaveTo wakes `to` without parking: the caller's coroutine is exiting
+// and will never run again.
+func (e *Engine) LeaveTo(to *Coro) {
+	e.cur = to
+	to.wake <- struct{}{}
+}
+
+// LeaveToRoot resumes the root coroutine as the caller exits.
+func (e *Engine) LeaveToRoot() {
+	e.LeaveTo(&e.root)
+}
+
+// HeadIs reports whether ev is the next event the engine will fire. A
+// process coroutine uses this to recognise its own burst-completion
+// event at the head of the queue — the one event it may fire in place
+// without changing the global event order.
+//
+//lrp:hotpath
+func (e *Engine) HeadIs(ev Event) bool {
+	return ev.e != nil && ev.gen == ev.e.gen && ev.e.idx == 0
+}
+
+// Horizon returns the deadline of the innermost Run/RunUntil in
+// progress: the time past which the current drive must not fire events.
+// MaxTime outside any bounded run.
+func (e *Engine) Horizon() Time { return e.horizon }
+
+// StepWithin fires the next event if it is scheduled at or before the
+// horizon. It returns false — without advancing the clock — when the
+// engine is stopped, the queue is empty, or the head event lies beyond
+// the horizon. This is the loop body shared by RunUntil and by driving
+// process coroutines.
+//
+//lrp:hotpath
+func (e *Engine) StepWithin() bool {
+	if e.stopped || e.queue.len() == 0 || e.queue.a[0].when > e.horizon {
+		return false
+	}
+	return e.Step()
+}
