@@ -1,8 +1,9 @@
 package lrp_test
 
 // Guards the checked-in archives: results/lrpbench_full.{txt,json}
-// (the canonical eight-experiment suite) and
-// results/lrpbench_faults.{txt,json} (the fault robustness curves).
+// (the canonical eight-experiment suite),
+// results/lrpbench_faults.{txt,json} (the fault robustness curves),
+// and results/lrpbench_smp.{txt,json} (the multi-core scaling sweep).
 // The JSON must decode under the current schema and satisfy every
 // shape assertion, and — because results are a pure function of config
 // and seed — an in-process re-run must reproduce both files
@@ -10,6 +11,7 @@ package lrp_test
 //
 //	go run ./cmd/lrpbench -out results/lrpbench_full.json all > results/lrpbench_full.txt
 //	go run ./cmd/lrpbench -out results/lrpbench_faults.json faults > results/lrpbench_faults.txt
+//	go run ./cmd/lrpbench -out results/lrpbench_smp.json smp > results/lrpbench_smp.txt
 //
 // whenever a change legitimately moves the numbers.
 
@@ -63,6 +65,17 @@ func TestFaultsArchive(t *testing.T) {
 	}
 }
 
+func TestSMPArchive(t *testing.T) {
+	s := loadArchive(t, "results/lrpbench_smp.json")
+	e := s.Find("smp")
+	if e == nil {
+		t.Fatal("archived smp suite carries no smp experiment")
+	}
+	for _, v := range results.CheckSMP(e.SMP) {
+		t.Errorf("archived smp run violates a shape assertion: %s", v)
+	}
+}
+
 // rerunArchive reruns the named experiments at full length in-process
 // and compares the rendered text and encoded JSON against the
 // checked-in archive pair, byte for byte. This is the determinism
@@ -111,4 +124,8 @@ func TestFullRunArchiveByteIdentical(t *testing.T) {
 
 func TestFaultsArchiveByteIdentical(t *testing.T) {
 	rerunArchive(t, "results/lrpbench_faults.json", "results/lrpbench_faults.txt", "faults")
+}
+
+func TestSMPArchiveByteIdentical(t *testing.T) {
+	rerunArchive(t, "results/lrpbench_smp.json", "results/lrpbench_smp.txt", "smp")
 }

@@ -6,7 +6,7 @@
 //
 //	lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] \
 //	         [-cpuprofile FILE] [-memprofile FILE] \
-//	         table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|all|check
+//	         table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|smp|all|check
 //
 // Each experiment prints the same rows or series the paper reports;
 // EXPERIMENTS.md records a side-by-side comparison with the published
@@ -21,9 +21,10 @@
 // -json replaces the text tables on stdout with the versioned JSON
 // suite (internal/results schema); -out FILE additionally saves that
 // JSON suite to FILE, whatever stdout carries. The check verb runs all
-// eight experiments, evaluates every paper-shape assertion (ordering
-// of systems, BSD's livelock collapse, NI-LRP's flat overload curve,
-// fairness bands, traffic separation), and exits non-zero if any fail.
+// eight experiments plus the smp sweep, evaluates every paper-shape
+// assertion (ordering of systems, BSD's livelock collapse, NI-LRP's
+// flat overload curve, fairness bands, traffic separation, multi-core
+// scaling), and exits non-zero if any fail.
 //
 // The faults verb runs the internal/fault robustness curves — goodput,
 // p99 latency, and victim-CPU share for every architecture under each
@@ -31,6 +32,11 @@
 // jitter, link flaps, DMA-ring overruns, spurious interrupts, mbuf-pool
 // pressure), plus TCP goodput versus reordering depth. It is not part
 // of `all`, so the archived canonical suite output stays byte-stable.
+//
+// The smp verb runs the multi-core scaling sweep: single-queue versus
+// RSS multi-queue receive for BSD, SOFT-LRP, and NI-LRP across 1, 2,
+// and 4 simulated CPUs. Like faults, it is standalone and not part of
+// `all`.
 package main
 
 import (
@@ -68,7 +74,7 @@ func run() int {
 	memProfile := flag.String("memprofile", "", "write a heap profile to FILE when the run completes")
 	flag.BoolVar(&doPlot, "plot", false, "render ASCII charts for the figures")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|all|check\n")
+		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|smp|all|check\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -136,7 +142,10 @@ func run() int {
 	case "all":
 		names = exp.Experiments
 	case "check":
-		names = exp.Experiments
+		// The canonical eight plus the standalone smp sweep: CheckSuite
+		// holds the scaling curves to their shapes whenever they are
+		// present, and check is where every assertion should run.
+		names = append(append([]string{}, exp.Experiments...), "smp")
 		check = true
 	default:
 		names = []string{which}

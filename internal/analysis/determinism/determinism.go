@@ -56,6 +56,7 @@ var simCore = map[string]bool{
 	"lrp/internal/ipv4":   true,
 	"lrp/internal/socket": true,
 	"lrp/internal/fault":  true,
+	"lrp/internal/smp":    true,
 }
 
 // concurrencyAllowed lists packages exempt from the goroutine/sync rules.

@@ -92,6 +92,9 @@ type BlastSink struct {
 	// DisturbPenalty sets the receiver's interrupt cache-disturbance
 	// penalty (see kernel.Proc.IntrPenalty).
 	DisturbPenalty int64
+	// CPU is the simulated CPU the sink process is spawned on (multi-CPU
+	// hosts; 0 — the boot CPU — otherwise).
+	CPU int
 
 	Received metrics.Counter
 	Proc     *kernel.Proc
@@ -100,7 +103,7 @@ type BlastSink struct {
 
 // Start spawns the sink process.
 func (s *BlastSink) Start() {
-	s.Proc = s.Host.K.Spawn("blast-sink", 0, func(p *kernel.Proc) {
+	s.Proc = s.Host.KernelAt(s.CPU).Spawn("blast-sink", 0, func(p *kernel.Proc) {
 		p.IntrPenalty = s.DisturbPenalty
 		s.Sock = s.Host.NewUDPSocket(p)
 		if err := s.Host.BindUDP(s.Sock, s.Port); err != nil {

@@ -13,12 +13,15 @@ import (
 type PingPongServer struct {
 	Host *core.Host
 	Port uint16
+	// CPU is the simulated CPU the echo process is spawned on (multi-CPU
+	// hosts; 0 — the boot CPU — otherwise).
+	CPU  int
 	Proc *kernel.Proc
 }
 
 // Start spawns the echo process.
 func (s *PingPongServer) Start() {
-	s.Proc = s.Host.K.Spawn("pingpong-srv", 0, func(p *kernel.Proc) {
+	s.Proc = s.Host.KernelAt(s.CPU).Spawn("pingpong-srv", 0, func(p *kernel.Proc) {
 		sock := s.Host.NewUDPSocket(p)
 		if err := s.Host.BindUDP(sock, s.Port); err != nil {
 			panic(err)

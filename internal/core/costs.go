@@ -76,6 +76,14 @@ type CostModel struct {
 	SockQueueCost int64
 	// CtxSwitchCost is a full process context switch.
 	CtxSwitchCost int64
+	// IPILatency, IPICost and MigrateCost parameterize multi-CPU hosts
+	// (Config.CPUs > 1): the flight time of an inter-processor
+	// interrupt, the receiving CPU's per-delivery interrupt work, and
+	// the cache-refill cost a process migrated between CPUs pays on its
+	// next burst. Zero values take the internal/smp defaults.
+	IPILatency  int64
+	IPICost     int64
+	MigrateCost int64
 	// RxDisturbPenalty models the cache disturbance a process suffers when
 	// it resumes after interrupt-level work ran (see kernel.Proc.IntrPenalty).
 	// Applied to receiver processes in the experiments; under LRP, fewer
@@ -148,6 +156,9 @@ func DefaultCosts() *CostModel {
 		NIChannelPenalty:   15,
 		SockQueueCost:      4,
 		CtxSwitchCost:      12,
+		IPILatency:         2,
+		IPICost:            8,
+		MigrateCost:        30,
 		RxDisturbPenalty:   10,
 		EagerProtoPenalty:  10,
 		FilterStepCostNs:   300,

@@ -92,6 +92,7 @@ func (h *Host) startICMPDaemon() {
 			m.EndTransfer()
 		}
 	})
+	proc.Pinned = true // kernel daemon: never migrated off CPU 0
 	s.Owner = proc
 }
 

@@ -60,6 +60,7 @@ func (h *Host) EnableForwarding(nice int) {
 			m.EndTransfer()
 		}
 	})
+	proc.Pinned = true // kernel daemon: never migrated off CPU 0
 	s.Owner = proc
 }
 

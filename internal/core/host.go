@@ -11,6 +11,7 @@ import (
 	"lrp/internal/nic"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
+	"lrp/internal/smp"
 	"lrp/internal/socket"
 	"lrp/internal/tcp"
 	"lrp/internal/trace"
@@ -35,6 +36,20 @@ type Config struct {
 	// user-level-network-subsystem configuration of the related work,
 	// whose demux cost grows with the number of bound endpoints.
 	FilterDemux bool
+	// CPUs is the number of simulated CPUs (0 or 1: a uniprocessor,
+	// exactly the pre-SMP host). CPU 0 is the boot CPU (Host.K); the
+	// network daemon processes are pinned there.
+	CPUs int
+	// RxQueues is the number of NIC receive queues (0 or 1: one ring).
+	// With more, a deterministic RSS hash over a packet's addresses and
+	// ports steers each flow to one queue, and each queue interrupts
+	// its assigned CPU. NI-LRP has no raw rx rings; there a value above
+	// one instead routes each NI channel's wakeup interrupt to the
+	// owning process's CPU. ArchPolling is single-queue only.
+	RxQueues int
+	// QueueCPU maps rx queue index -> CPU index. A nil slice (or any
+	// queue beyond its length) defaults to queue i -> CPU i mod CPUs.
+	QueueCPU []int
 }
 
 // Stats aggregates host-level drop and delivery accounting, by location —
@@ -58,16 +73,20 @@ type Stats struct {
 
 // Host is one simulated machine: kernel, NIC, protocol state, sockets.
 type Host struct {
-	Eng  *sim.Engine
-	K    *kernel.Kernel
-	NIC  *nic.NIC
-	Net  *netsim.Network
-	Addr pkt.Addr
-	Arch Arch
-	CM   *CostModel
-	Pool *mbuf.Pool
-	MTU  int
-	Name string
+	Eng *sim.Engine
+	K   *kernel.Kernel
+	// CPUs holds every kernel, in CPU order; CPUs[0] == K. A
+	// uniprocessor host has exactly one entry and a nil Cluster.
+	CPUs    []*kernel.Kernel
+	Cluster *smp.Cluster
+	NIC     *nic.NIC
+	Net     *netsim.Network
+	Addr    pkt.Addr
+	Arch    Arch
+	CM      *CostModel
+	Pool    *mbuf.Pool
+	MTU     int
+	Name    string
 
 	pcbs  *demux.Table[*socket.Socket]
 	reasm *ipv4.Reassembler
@@ -78,6 +97,14 @@ type Host struct {
 	filterProgs map[*socket.Socket]int // socket -> entry handle
 
 	ipq *mbuf.Queue // BSD shared IP queue
+
+	// Multi-queue receive state (nil/false on a single-queue host).
+	multiQueue    bool          // per-flow rx steering is on
+	queueCPU      []int         // rx queue -> CPU index
+	ipqs          []*mbuf.Queue // per-CPU IP queues (BSD multi-queue); [0] == ipq
+	bsdSoftintFns []func()      // per-CPU softint bodies, built once
+	qStep         []func()      // per-queue driver-step closures, built once
+	qIntr         []func()      // per-queue interrupt entries, built once
 
 	fragChan *nic.Channel // LRP: fragments that missed the demux mapping
 	twChan   *nic.Channel // NI-LRP: traffic for deallocated TIME_WAIT channels
@@ -168,6 +195,36 @@ func NewHost(eng *sim.Engine, nw *netsim.Network, cfg Config) *Host {
 	h.Pool = mbuf.NewPool(cm.MbufPoolLimit)
 	h.K = kernel.New(eng, cfg.Name)
 	h.K.CtxSwitchCost = cm.CtxSwitchCost
+	h.CPUs = []*kernel.Kernel{h.K}
+	ncpu := cfg.CPUs
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	for i := 1; i < ncpu; i++ {
+		k := kernel.New(eng, fmt.Sprintf("%s/cpu%d", cfg.Name, i))
+		k.CtxSwitchCost = cm.CtxSwitchCost
+		h.CPUs = append(h.CPUs, k)
+	}
+	if ncpu > 1 {
+		h.Cluster = smp.New(eng, h.CPUs, smp.Config{
+			IPILatency:  cm.IPILatency,
+			IPICost:     cm.IPICost,
+			MigrateCost: cm.MigrateCost,
+		})
+	}
+
+	// Rx queue count: raw-ring architectures can spread RSS-hashed flows
+	// over several rings; NI-LRP's smart NIC has no raw rings (the flag
+	// below routes channel interrupts instead) and polling is
+	// single-queue by construction.
+	nq := cfg.RxQueues
+	if nq < 1 {
+		nq = 1
+	}
+	h.multiQueue = nq > 1
+	if cfg.Arch == ArchNILRP || cfg.Arch == ArchPolling {
+		nq = 1
+	}
 
 	mode := nic.ModeRaw
 	if cfg.Arch == ArchNILRP {
@@ -180,6 +237,7 @@ func NewHost(eng *sim.Engine, nw *netsim.Network, cfg Config) *Host {
 		IfqLimit:      cm.IPQueueLimit,
 		NICPerPktCost: cm.NICDemuxCost,
 		NICInputLimit: cm.NICInputLimit,
+		RxQueues:      nq,
 	})
 	nw.Attach(h.NIC, cfg.Addr, cfg.LinkBps, cfg.PropDelay)
 
@@ -189,9 +247,17 @@ func NewHost(eng *sim.Engine, nw *netsim.Network, cfg Config) *Host {
 	}
 	switch cfg.Arch {
 	case ArchBSD:
-		h.NIC.OnHostIntr = h.bsdHostIntr
+		if nq > 1 {
+			h.wireQueueRx(cfg.QueueCPU)
+		} else {
+			h.NIC.OnHostIntr = h.bsdHostIntr
+		}
 	case ArchSoftLRP, ArchEarlyDemux:
-		h.NIC.OnHostIntr = h.demuxHostIntr
+		if nq > 1 {
+			h.wireQueueRx(cfg.QueueCPU)
+		} else {
+			h.NIC.OnHostIntr = h.demuxHostIntr
+		}
 	case ArchNILRP:
 		h.NIC.OnNICProcess = h.niDemuxProcess
 		h.NIC.OnHostIntr = nil // raised explicitly per channel signal
@@ -205,9 +271,11 @@ func NewHost(eng *sim.Engine, nw *netsim.Network, cfg Config) *Host {
 		h.twChan.IntrRequested = true
 		h.initTCPHooks()
 		h.appProc = h.K.Spawn(cfg.Name+"/app-tcp", 0, h.appMain)
+		h.appProc.Pinned = true // kernel daemon: never migrated off CPU 0
 		if !cfg.NoIdleThread {
 			h.idleProc = h.K.Spawn(cfg.Name+"/idle-proto", 0, h.idleMain)
 			h.idleProc.FixedPrio = kernel.PrioMax
+			h.idleProc.Pinned = true
 		}
 		if !cfg.NoICMPDaemon {
 			h.startICMPDaemon()
@@ -218,12 +286,74 @@ func NewHost(eng *sim.Engine, nw *netsim.Network, cfg Config) *Host {
 	return h
 }
 
+// wireQueueRx installs the multi-queue receive path: one pre-built
+// interrupt/driver-step closure pair per rx queue, each posting its
+// work to the queue's assigned CPU. BSD additionally gets one IP queue
+// and softint body per CPU (a per-CPU softnet queue), so protocol
+// processing stays on the CPU that took the interrupt.
+func (h *Host) wireQueueRx(queueCPU []int) {
+	nq := h.NIC.NumRxQueues()
+	h.queueCPU = make([]int, nq)
+	for q := range h.queueCPU {
+		ci := q % len(h.CPUs)
+		if q < len(queueCPU) && queueCPU[q] >= 0 && queueCPU[q] < len(h.CPUs) {
+			ci = queueCPU[q]
+		}
+		h.queueCPU[q] = ci
+	}
+	if h.Arch == ArchBSD {
+		h.ipqs = make([]*mbuf.Queue, len(h.CPUs))
+		h.bsdSoftintFns = make([]func(), len(h.CPUs))
+		for i := range h.ipqs {
+			if i == 0 {
+				h.ipqs[0] = h.ipq
+			} else {
+				h.ipqs[i] = mbuf.NewQueue(h.CM.IPQueueLimit)
+			}
+			ipq := h.ipqs[i]
+			h.bsdSoftintFns[i] = func() {
+				if m := ipq.Dequeue(); m != nil {
+					h.protoInput(m, nil)
+				}
+			}
+		}
+	}
+	h.qStep = make([]func(), nq)
+	h.qIntr = make([]func(), nq)
+	for q := 0; q < nq; q++ {
+		q := q
+		ci := h.queueCPU[q]
+		k := h.CPUs[ci]
+		switch h.Arch {
+		case ArchBSD:
+			h.qStep[q] = func() { h.bsdDriverStepQ(q, ci, k) }
+			h.qIntr[q] = func() {
+				k.PostHW(kernel.WorkItem{Cost: h.CM.HWIntrFixed + h.CM.DriverPerPkt, Fn: h.qStep[q]})
+			}
+		default: // SOFT-LRP, Early-Demux
+			h.qStep[q] = func() { h.demuxDriverStepQ(q, k) }
+			h.qIntr[q] = func() {
+				k.PostHW(kernel.WorkItem{Cost: h.CM.HWIntrFixed + h.CM.DriverPerPkt + h.headDemuxCostQ(q), Fn: h.qStep[q]})
+			}
+		}
+	}
+	h.NIC.OnQueueIntr = func(q int) { h.qIntr[q]() }
+}
+
+// KernelAt returns CPU i's kernel; index 0 is the boot CPU (Host.K).
+func (h *Host) KernelAt(i int) *kernel.Kernel { return h.CPUs[i] }
+
+// NumCPUs returns the number of simulated CPUs.
+func (h *Host) NumCPUs() int { return len(h.CPUs) }
+
 // EnableTrace attaches a bounded event log (capacity events) to the host
-// and its kernel and returns it.
+// and its kernels and returns it.
 func (h *Host) EnableTrace(capacity int) *trace.Log {
 	l := trace.New(capacity, h.Eng.Now)
 	h.Trace = l
-	h.K.Trace = l
+	for _, k := range h.CPUs {
+		k.Trace = l
+	}
 	return l
 }
 
@@ -232,6 +362,9 @@ func (h *Host) EnableTrace(capacity int) *trace.Log {
 func (h *Host) Stats() Stats {
 	s := h.stats
 	s.IPQDrops = h.ipq.Drops()
+	for i := 1; i < len(h.ipqs); i++ { // per-CPU softnet queues (ipqs[0] == ipq)
+		s.IPQDrops += h.ipqs[i].Drops()
+	}
 	for _, so := range h.sockets {
 		if so.NIChan != nil {
 			s.ChannelDrops += so.NIChan.Queue.Drops()
@@ -255,8 +388,12 @@ func (h *Host) Stats() Stats {
 // Sockets returns all sockets created on the host.
 func (h *Host) Sockets() []*socket.Socket { return append([]*socket.Socket(nil), h.sockets...) }
 
-// Shutdown stops the host's process goroutines.
-func (h *Host) Shutdown() { h.K.Shutdown() }
+// Shutdown stops the host's process goroutines on every CPU.
+func (h *Host) Shutdown() {
+	for _, k := range h.CPUs {
+		k.Shutdown()
+	}
+}
 
 // allocPort returns a fresh ephemeral port.
 func (h *Host) allocPort() uint16 {

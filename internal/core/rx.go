@@ -63,6 +63,29 @@ func (h *Host) bsdSoftint() {
 	h.protoInput(m, nil)
 }
 
+// bsdDriverStepQ is bsdDriverStep for one queue of a multi-queue NIC:
+// the same batching interrupt handler, but queue q's ring feeds CPU
+// ci's IP queue and software interrupt. The closures in Host.qStep
+// bind q/ci/k once at construction, so the per-interrupt path
+// allocates nothing.
+func (h *Host) bsdDriverStepQ(q, ci int, k *kernel.Kernel) {
+	if m := h.NIC.RxDequeueQ(q); m != nil {
+		swEmpty := k.SWPending() == 0
+		if h.ipqs[ci].Enqueue(m) {
+			cost := h.protoInCost(m.Data, true) + h.CM.EagerProtoPenalty
+			if swEmpty {
+				cost += h.CM.SWDispatchFixed
+			}
+			k.PostSW(kernel.WorkItem{Cost: cost, Fn: h.bsdSoftintFns[ci]})
+		}
+	}
+	if h.NIC.RxPendingQ(q) > 0 {
+		k.PostHW(kernel.WorkItem{Cost: h.CM.DriverPerPkt, Fn: h.qStep[q]})
+	} else {
+		h.NIC.IntrDoneQ(q)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // SOFT-LRP and Early-Demux: demultiplexing in the host interrupt handler.
 
@@ -84,6 +107,20 @@ func (h *Host) demuxDriverStep() {
 	}
 }
 
+// demuxDriverStepQ is demuxDriverStep for one queue of a multi-queue
+// NIC: queue q's packets are demultiplexed in interrupt context on the
+// queue's assigned CPU k.
+func (h *Host) demuxDriverStepQ(q int, k *kernel.Kernel) {
+	if m := h.NIC.RxDequeueQ(q); m != nil {
+		h.demuxDeliverOn(k, m)
+	}
+	if h.NIC.RxPendingQ(q) > 0 {
+		k.PostHW(kernel.WorkItem{Cost: h.CM.DriverPerPkt + h.headDemuxCostQ(q), Fn: h.qStep[q]})
+	} else {
+		h.NIC.IntrDoneQ(q)
+	}
+}
+
 // headDemuxCost prices the demultiplexing of the packet the next driver
 // step will dequeue (data-dependent under interpreted filter demux).
 func (h *Host) headDemuxCost() int64 {
@@ -91,6 +128,18 @@ func (h *Host) headDemuxCost() int64 {
 		return h.CM.DemuxCost
 	}
 	m := h.NIC.RxPeek()
+	if m == nil {
+		return h.CM.DemuxCost
+	}
+	return h.demuxCostFor(m.Data)
+}
+
+// headDemuxCostQ is headDemuxCost against one queue's ring.
+func (h *Host) headDemuxCostQ(q int) int64 {
+	if h.filterDemux == nil {
+		return h.CM.DemuxCost
+	}
+	m := h.NIC.RxPeekQ(q)
 	if m == nil {
 		return h.CM.DemuxCost
 	}
@@ -109,12 +158,19 @@ func (h *Host) niDemuxProcess(m *mbuf.Mbuf) {
 // (SOFT-LRP, Early-Demux) or on the NIC processor (NI-LRP).
 //
 //lrp:hotpath
-func (h *Host) demuxDeliver(m *mbuf.Mbuf) {
+func (h *Host) demuxDeliver(m *mbuf.Mbuf) { h.demuxDeliverOn(h.K, m) }
+
+// demuxDeliverOn is demuxDeliver in the interrupt context of a specific
+// CPU k: eager follow-up work (Early-Demux softints, foreign-traffic
+// forwarding) stays on the CPU whose queue carried the packet.
+//
+//lrp:hotpath
+func (h *Host) demuxDeliverOn(k *kernel.Kernel, m *mbuf.Mbuf) {
 	sock, v := h.pcbs.Classify(m.Data, h.Eng.Now())
 	if (v == demux.Match || v == demux.NoMatch) && h.forwarding && h.isForeign(m.Data) {
 		// Transit traffic. (A Match can occur when a local port number
 		// coincides with a foreign packet's; the address check wins.)
-		h.deliverForeign(m)
+		h.deliverForeignOn(k, m)
 		return
 	}
 	if h.Trace != nil {
@@ -143,7 +199,7 @@ func (h *Host) demuxDeliver(m *mbuf.Mbuf) {
 	}
 
 	if h.Arch == ArchEarlyDemux {
-		h.earlyDemuxDeliver(sock, m)
+		h.earlyDemuxDeliver(k, sock, m)
 		return
 	}
 
@@ -170,6 +226,11 @@ func (h *Host) demuxDeliver(m *mbuf.Mbuf) {
 // receiver asked for interrupts: wake the receiver (UDP) or schedule
 // asynchronous protocol processing (TCP). Under NI-LRP this requires an
 // actual (minimal) host interrupt; under soft demux we are already in one.
+//
+// On a multi-queue NI-LRP host the channel's interrupt line is routed to
+// the owning process's CPU — the NI-channel analogue of RSS steering —
+// so the wakeup needs no follow-up IPI. Single-queue hosts take every
+// channel interrupt on CPU 0, exactly the pre-SMP behavior.
 func (h *Host) channelSignal(sock *socket.Socket, ch *nic.Channel) {
 	// One signal per empty->nonempty transition: the APP thread (TCP) or
 	// the woken receiver (UDP) re-requests interrupts when it next needs
@@ -197,7 +258,11 @@ func (h *Host) channelSignal(sock *socket.Socket, ch *nic.Channel) {
 		// accounts network processing to the process that receives the
 		// traffic.
 		h.NIC.RaiseIntr()
-		h.K.PostHW(kernel.WorkItem{Cost: h.CM.HWIntrFixed, ChargeTo: sock.Owner, Fn: act})
+		k := h.K
+		if h.multiQueue && sock.Owner != nil {
+			k = sock.Owner.K
+		}
+		k.PostHW(kernel.WorkItem{Cost: h.CM.HWIntrFixed, ChargeTo: sock.Owner, Fn: act})
 	} else {
 		act()
 	}
@@ -205,8 +270,9 @@ func (h *Host) channelSignal(sock *socket.Socket, ch *nic.Channel) {
 
 // earlyDemuxDeliver implements the paper's Early-Demux ablation: drop
 // immediately if the destination socket cannot accept more data, otherwise
-// schedule conventional (eager, softint, BSD-accounted) processing.
-func (h *Host) earlyDemuxDeliver(sock *socket.Socket, m *mbuf.Mbuf) {
+// schedule conventional (eager, softint, BSD-accounted) processing on the
+// CPU k whose interrupt carried the packet.
+func (h *Host) earlyDemuxDeliver(k *kernel.Kernel, sock *socket.Socket, m *mbuf.Mbuf) {
 	if sock.Type == socket.Dgram && sock.RecvDgrams != nil && sock.RecvDgrams.Full() {
 		h.stats.EarlyDrops++
 		m.Free()
@@ -219,7 +285,7 @@ func (h *Host) earlyDemuxDeliver(sock *socket.Socket, m *mbuf.Mbuf) {
 			return
 		}
 	}
-	swEmpty := h.K.SWPending() == 0
+	swEmpty := k.SWPending() == 0
 	// PCB lookup is bypassed: the demultiplexer already identified the
 	// socket ("Due to the early demultiplexing, UDP's PCB lookup was
 	// bypassed, as in the LRP kernels").
@@ -227,13 +293,14 @@ func (h *Host) earlyDemuxDeliver(sock *socket.Socket, m *mbuf.Mbuf) {
 	if swEmpty {
 		cost += h.CM.SWDispatchFixed
 	}
-	h.K.PostSW(kernel.WorkItem{Cost: cost, Fn: func() { h.protoInput(m, sock) }})
+	k.PostSW(kernel.WorkItem{Cost: cost, Fn: func() { h.protoInput(m, sock) }})
 }
 
 // deliverForeign hands transit traffic to the forwarding machinery: the
 // LRP forwarding daemon's channel (early discard when the daemon cannot
-// keep up), or an eager software interrupt under Early-Demux.
-func (h *Host) deliverForeign(m *mbuf.Mbuf) {
+// keep up), or an eager software interrupt under Early-Demux, on the
+// CPU k whose interrupt carried the packet.
+func (h *Host) deliverForeignOn(k *kernel.Kernel, m *mbuf.Mbuf) {
 	if h.Arch.IsLRP() {
 		ch := h.fwdSock.NIChan
 		wasEmpty, ok := ch.Deliver(m)
@@ -243,12 +310,12 @@ func (h *Host) deliverForeign(m *mbuf.Mbuf) {
 		return
 	}
 	// Early-Demux: conventional eager forwarding.
-	swEmpty := h.K.SWPending() == 0
+	swEmpty := k.SWPending() == 0
 	cost := h.CM.IPInCost + h.CM.IPOutCost
 	if swEmpty {
 		cost += h.CM.SWDispatchFixed
 	}
-	h.K.PostSW(kernel.WorkItem{Cost: cost, Fn: func() {
+	k.PostSW(kernel.WorkItem{Cost: cost, Fn: func() {
 		b := m.Data
 		m.BeginTransfer() // release the slot first, as the old free-then-read did
 		h.forwardPacket(b)

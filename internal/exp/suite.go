@@ -11,9 +11,10 @@ import (
 
 // Experiments lists the eight experiment names in canonical suite
 // order — the order `lrpbench all` runs and reports them. The fault
-// robustness curves ("faults") are deliberately not part of the
-// canonical suite: they run standalone via `lrpbench faults`, so the
-// archived `lrpbench all` output stays byte-stable.
+// robustness curves ("faults") and the multi-core scaling sweep ("smp")
+// are deliberately not part of the canonical suite: they run standalone
+// via `lrpbench faults` / `lrpbench smp`, so the archived `lrpbench
+// all` output stays byte-stable.
 var Experiments = []string{
 	"table1", "fig3", "mlfrr", "fig4", "table2", "fig5", "ablations", "media",
 }
@@ -45,6 +46,8 @@ func RunExperiment(name string, opt Options) (results.Experiment, error) {
 			e.Media = MediaJitter(opt)
 		case "faults":
 			e.Faults = Faults(opt)
+		case "smp":
+			e.SMP = SMP(opt)
 		default:
 			err = fmt.Errorf("exp: unknown experiment %q", name)
 		}

@@ -104,6 +104,39 @@ type Stats struct {
 // Busy returns total non-idle CPU microseconds.
 func (s Stats) Busy() int64 { return s.HWTime + s.SWTime + s.ProcTime }
 
+// Group links the kernels of one multi-CPU host. The zero value is not
+// used; a cluster layer (internal/smp) creates one, points every member
+// kernel's Group field at it, and installs the policy hooks. A nil
+// Group on a kernel means uniprocessor: every hook site below is
+// skipped and behaviour is identical to the pre-SMP kernel.
+type Group struct {
+	// Executing is the kernel whose context the currently-running code
+	// belongs to. Member kernels maintain it at every control transfer
+	// into simulation code (burst completion, process dispatch, timer
+	// fire); Proc.wakeup compares it against the woken process's home
+	// kernel to classify the wakeup as local or cross-CPU.
+	Executing *Kernel
+
+	// RemoteWake, when non-nil, delivers a cross-CPU wakeup: the woken
+	// process has already been detached from its wait queue and timeout,
+	// and the hook must eventually call Proc.DeliverWakeup on the
+	// process's home CPU (typically after an IPI latency plus a
+	// hardware-interrupt cost). When nil, cross-CPU wakeups degrade to
+	// the local path.
+	RemoteWake func(p *Proc)
+
+	// Steal, when non-nil, is consulted by a member kernel about to go
+	// idle: it may migrate a runnable process from a sibling into k's
+	// run queue (Proc.MigrateTo) and return it, or return nil to let k
+	// halt.
+	Steal func(k *Kernel) *Proc
+
+	// OnHalt, when non-nil, is invoked each time a member kernel goes
+	// idle with nothing to run (after a failed steal) — the idle-halt
+	// instrumentation point.
+	OnHalt func(k *Kernel)
+}
+
 // Kernel is one simulated host CPU plus its scheduler state. Create with
 // New. All methods must be called from the engine goroutine or from the
 // currently running process goroutine (the simulation guarantees only one
@@ -115,6 +148,10 @@ type Kernel struct {
 	// CtxSwitchCost is charged (as system time) to a process when it takes
 	// the CPU from a different process.
 	CtxSwitchCost int64
+
+	// Group links this kernel to its sibling CPUs; nil on a
+	// uniprocessor. See Group.
+	Group *Group
 
 	// Trace, when non-nil, records scheduler and interrupt events.
 	Trace *trace.Log
@@ -201,6 +238,18 @@ func (k *Kernel) startClocks() {
 // Now returns the current simulated time.
 func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
 
+// enter marks this kernel as the owner of the executing context (a
+// no-op on a uniprocessor). Called at every control transfer into code
+// that may invoke wakeups: burst completion, process dispatch, timer
+// expiry.
+//
+//lrp:hotpath
+func (k *Kernel) enter() {
+	if k.Group != nil {
+		k.Group.Executing = k
+	}
+}
+
 // Stats returns a copy of the kernel-wide accounting counters, with any
 // in-progress burst or idle period folded in up to the current instant.
 func (k *Kernel) Stats() Stats {
@@ -249,6 +298,9 @@ func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
 		done:  make(chan struct{}),
 	}
 	p.timeoutFn = func() {
+		// A sleep timeout is a timer interrupt on the CPU that armed it:
+		// home-CPU context, so the wakeup below is always local.
+		p.K.enter()
 		p.timeoutEv = sim.Event{}
 		if p.state == stateSleeping {
 			p.timedOut = true
@@ -329,6 +381,25 @@ func (k *Kernel) pickProc() *Proc {
 			case best != k.lastOnCPU && p.seq < best.seq:
 				best = p
 			}
+		}
+	}
+	return best
+}
+
+// StealCandidate returns the process a sibling CPU should steal from
+// this kernel's run queue, or nil: the best-priority runnable process
+// that can migrate (see Proc.MigrateTo) and is not the process this
+// kernel would dispatch next — a CPU with a single runnable process is
+// left alone. Ties break FIFO, matching pickProc's determinism.
+func (k *Kernel) StealCandidate() *Proc {
+	next := k.pickProc()
+	var best *Proc
+	for _, p := range k.runq {
+		if p == next || p.Pinned || p.dispatched || k.curRunProc == p || p.state != stateRunnable {
+			continue
+		}
+		if best == nil || p.Prio() < best.Prio() || (p.Prio() == best.Prio() && p.seq < best.seq) {
+			best = p
 		}
 	}
 	return best
@@ -438,8 +509,17 @@ func (k *Kernel) reschedule() {
 			k.openItemBurst(bandSW, k.swQ[0])
 		default:
 			p := k.pickProc()
+			if p == nil && k.Group != nil && k.Group.Steal != nil {
+				// About to go idle: ask the cluster's work-stealing
+				// policy for a migratable process from a sibling CPU.
+				p = k.Group.Steal(k)
+			}
 			if p == nil {
-				// Idle: idleStart was set by closeBurst.
+				// Idle ("halt"): idleStart was set by closeBurst; the
+				// next event to touch this CPU un-halts it.
+				if k.Group != nil && k.Group.OnHalt != nil {
+					k.Group.OnHalt(k)
+				}
 				k.inSched = false
 				return
 			}
@@ -508,6 +588,7 @@ func (k *Kernel) openProcBurst(p *Proc) {
 //
 //lrp:hotpath
 func (k *Kernel) onBurstDone() {
+	k.enter()
 	was, item, p := k.cur, k.curItem, k.curRunProc
 	k.closeBurst()
 	switch was {
@@ -548,6 +629,7 @@ func (k *Kernel) onBurstDone() {
 //
 //lrp:hotpath
 func (k *Kernel) dispatchContinue(p *Proc) {
+	k.enter()
 	k.curProc = p
 	p.state = stateRunning
 	p.resumedBy = nil
@@ -572,6 +654,7 @@ func (k *Kernel) dispatchContinue(p *Proc) {
 //
 //lrp:hotpath
 func (k *Kernel) runProcStep(p *Proc) bool {
+	k.enter()
 	k.curProc = p
 	p.state = stateRunning
 	p.dispatched = true

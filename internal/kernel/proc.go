@@ -79,6 +79,10 @@ type Proc struct {
 	// ignored). The LRP idle-time protocol processing thread runs pinned
 	// at PrioMax so it only consumes otherwise-idle cycles.
 	FixedPrio int
+	// Pinned excludes the process from cross-CPU migration (work
+	// stealing). Host daemons whose state is tied to one CPU — the
+	// idle-time protocol thread, the APP thread — are pinned.
+	Pinned bool
 
 	// Accounting (µs). UTime is application compute, STime is system-call
 	// work performed in this process's context, IntrCharged is interrupt-
@@ -347,8 +351,28 @@ func (p *Proc) pendingTarget() *Proc {
 }
 
 // wakeup moves a sleeping process back to the run queue. Engine context.
+//
+// On a multi-CPU host, a wakeup initiated from a different CPU than the
+// process's home CPU does not touch the home run queue directly: the
+// process is detached from its wait queue (the waker owns that), its
+// timeout is cancelled, and runnability is delivered by the cluster's
+// RemoteWake hook — an inter-processor interrupt that later calls
+// DeliverWakeup on the home CPU. Same-CPU wakeups take the exact
+// uniprocessor path.
 func (p *Proc) wakeup() {
 	if p.state != stateSleeping {
+		return
+	}
+	if g := p.K.Group; g != nil && g.RemoteWake != nil && g.Executing != nil && g.Executing != p.K {
+		if p.wq != nil {
+			p.wq.remove(p)
+			p.wq = nil
+		}
+		if !p.timeoutEv.IsZero() {
+			p.K.Eng.Cancel(p.timeoutEv)
+			p.timeoutEv = sim.Event{}
+		}
+		g.RemoteWake(p)
 		return
 	}
 	if p.wq != nil {
@@ -363,6 +387,52 @@ func (p *Proc) wakeup() {
 	p.recomputePrio()
 	p.K.addRunnable(p)
 	p.K.reschedule()
+}
+
+// DeliverWakeup completes a remotely-initiated wakeup on the process's
+// home CPU: the IPI delivery path calls it (typically from a
+// hardware-interrupt work item on the home kernel) after wakeup already
+// detached the process from its wait queue. The process joins the home
+// run queue with a fresh FIFO sequence at delivery time, so it never
+// reorders processes that became runnable before the IPI landed. A
+// process that is no longer sleeping (woken locally in the interim) is
+// left alone.
+func (p *Proc) DeliverWakeup() {
+	if p.state != stateSleeping {
+		return
+	}
+	p.state = stateRunnable
+	p.recomputePrio()
+	p.K.addRunnable(p)
+	p.K.reschedule()
+}
+
+// MigrateTo moves a runnable process to dst's run queue, modelling a
+// work-stealing migration: the process leaves its home kernel's process
+// and run lists, joins dst's (with a fresh FIFO sequence), and pays
+// cost microseconds of extra work on its next burst (the cache-refill
+// price of running cold on another CPU). It reports whether the
+// migration happened: pinned, non-runnable, dispatched, or mid-burst
+// processes — and processes already on dst — do not move.
+func (p *Proc) MigrateTo(dst *Kernel, cost int64) bool {
+	src := p.K
+	if dst == src || p.state != stateRunnable || p.Pinned || p.dispatched || src.curRunProc == p {
+		return false
+	}
+	src.removeRunnable(p)
+	for i, q := range src.procs {
+		if q == p {
+			src.procs = append(src.procs[:i], src.procs[i+1:]...)
+			break
+		}
+	}
+	p.K = dst
+	dst.procs = append(dst.procs, p)
+	if cost > 0 {
+		p.pendingWork += cost
+	}
+	dst.addRunnable(p)
+	return true
 }
 
 // decayUsage applies the per-second schedcpu decay (factor 2/3, the BSD

@@ -29,7 +29,10 @@ const (
 	ModeSmart
 )
 
-// Stats counts NIC-level events.
+// Stats counts NIC-level events. The scalar fields are adaptor-wide
+// aggregates with the same meanings they had when the adaptor modelled
+// a single receive ring; Queues breaks the receive-side counters down
+// per RSS queue (one entry per configured rx queue, in queue order).
 type Stats struct {
 	RxPackets    uint64 // packets received from the wire
 	RxRingDrops  uint64 // packets lost to receive-ring overflow (ModeRaw)
@@ -38,6 +41,22 @@ type Stats struct {
 	TxQueueDrops uint64 // packets lost to interface-queue overflow
 	HostIntrs    uint64 // host interrupts raised
 	FaultDrops   uint64 // packets discarded by an injected receive fault
+
+	// Queues holds the per-receive-queue breakdown. RxRingDrops over
+	// Queues sums to the aggregate; RxPackets over Queues counts the
+	// packets steered to a ring (aggregate RxPackets minus fault drops
+	// and ModeSmart traffic); HostIntrs over Queues counts ring-raised
+	// interrupts (interrupts raised on behalf of the embedded processor
+	// via RaiseIntr belong to an NI channel, not a ring, and count only
+	// in the aggregate).
+	Queues []QueueStats
+}
+
+// QueueStats counts one receive queue's events (ModeRaw rings).
+type QueueStats struct {
+	RxPackets   uint64 // packets the RSS hash steered to this queue
+	RxRingDrops uint64 // packets lost to this queue's ring overflow
+	HostIntrs   uint64 // host interrupts raised by this queue's ring
 }
 
 // NIC is one simulated network adaptor.
@@ -58,6 +77,13 @@ type NIC struct {
 	// when requested by a channel in ModeSmart. The architecture layer
 	// typically posts hardware-interrupt work to the kernel here.
 	OnHostIntr func()
+
+	// OnQueueIntr, when non-nil, replaces OnHostIntr for receive-ring
+	// interrupts and identifies which queue raised the line. A
+	// multi-queue architecture layer installs it to route each queue's
+	// interrupt to its affinity-mapped CPU; single-queue configurations
+	// leave it nil and keep the legacy OnHostIntr wiring.
+	OnQueueIntr func(q int)
 
 	// OnNICProcess runs on the embedded processor for each received packet
 	// in ModeSmart, after NICPerPktCost of adaptor CPU time. It should
@@ -85,8 +111,7 @@ type NIC struct {
 	// the network layer must EndTransfer it when the packet leaves the wire.
 	Transmit func(m *mbuf.Mbuf, done func())
 
-	rxRing       *mbuf.Queue
-	intrPending  bool
+	rxq          []rxQueue
 	intrDisabled bool
 
 	nicBacklog   int      // packets queued for the embedded processor
@@ -98,11 +123,19 @@ type NIC struct {
 	stats Stats
 }
 
+// rxQueue is one receive ring plus its interrupt line state.
+type rxQueue struct {
+	ring        *mbuf.Queue
+	intrPending bool
+	stats       QueueStats
+}
+
 // Config bundles NIC construction parameters.
 type Config struct {
 	Name          string
 	Mode          Mode
-	RxRingSize    int // ModeRaw ring slots (0 = 64)
+	RxRingSize    int // ModeRaw ring slots per queue (0 = 64)
+	RxQueues      int // receive queues the RSS hash spreads over (0 = 1)
 	IfqLimit      int // interface queue limit (0 = 50, the BSD default)
 	Pool          *mbuf.Pool
 	NICPerPktCost int64
@@ -123,22 +156,38 @@ func New(eng *sim.Engine, cfg Config) *NIC {
 	if cfg.NICInputLimit == 0 {
 		cfg.NICInputLimit = 256
 	}
-	return &NIC{
+	if cfg.RxQueues == 0 {
+		cfg.RxQueues = 1
+	}
+	n := &NIC{
 		Eng:           eng,
 		Name:          cfg.Name,
 		Pool:          cfg.Pool,
 		Mode:          cfg.Mode,
 		NICPerPktCost: cfg.NICPerPktCost,
 		NICInputLimit: cfg.NICInputLimit,
-		rxRing:        mbuf.NewQueue(cfg.RxRingSize),
+		rxq:           make([]rxQueue, cfg.RxQueues),
 		ifq:           mbuf.NewQueue(cfg.IfqLimit),
 	}
+	for i := range n.rxq {
+		n.rxq[i].ring = mbuf.NewQueue(cfg.RxRingSize)
+	}
+	return n
 }
+
+// NumRxQueues returns the number of configured receive queues.
+func (n *NIC) NumRxQueues() int { return len(n.rxq) }
 
 // Stats returns a snapshot of the NIC counters, folding in queue drops.
 func (n *NIC) Stats() Stats {
 	s := n.stats
-	s.RxRingDrops += n.rxRing.Drops()
+	s.Queues = make([]QueueStats, len(n.rxq))
+	for i := range n.rxq {
+		qs := n.rxq[i].stats
+		qs.RxRingDrops += n.rxq[i].ring.Drops()
+		s.Queues[i] = qs
+		s.RxRingDrops += n.rxq[i].ring.Drops()
+	}
 	s.TxQueueDrops += n.ifq.Drops()
 	return s
 }
@@ -152,21 +201,27 @@ func (n *NIC) Rx(b []byte) {
 	}
 	switch n.Mode {
 	case ModeRaw:
+		q := 0
+		if len(n.rxq) > 1 {
+			q = int(FlowHash(b) % uint32(len(n.rxq)))
+		}
+		rq := &n.rxq[q]
+		rq.stats.RxPackets++
 		m := n.Pool.AllocCopy(b)
 		if m == nil {
 			n.stats.RxRingDrops++
+			rq.stats.RxRingDrops++
 			return
 		}
 		m.Arrival = n.Eng.Now()
-		if !n.rxRing.Enqueue(m) {
-			return // counted via rxRing.Drops
+		if !rq.ring.Enqueue(m) {
+			return // counted via ring.Drops
 		}
-		if !n.intrPending && !n.intrDisabled {
-			n.intrPending = true
+		if !rq.intrPending && !n.intrDisabled {
+			rq.intrPending = true
 			n.stats.HostIntrs++
-			if n.OnHostIntr != nil {
-				n.OnHostIntr()
-			}
+			rq.stats.HostIntrs++
+			n.raiseRing(q)
 		}
 	case ModeSmart:
 		if n.nicBacklog >= n.NICInputLimit {
@@ -197,45 +252,74 @@ func (n *NIC) Rx(b []byte) {
 	}
 }
 
-// RxDequeue removes the next packet from the receive ring (driver code in
-// host interrupt context). It returns nil when the ring is empty.
-func (n *NIC) RxDequeue() *mbuf.Mbuf { return n.rxRing.Dequeue() }
-
-// RxPeek returns the ring head without removing it (drivers use it to
-// price data-dependent interrupt work before performing it).
-func (n *NIC) RxPeek() *mbuf.Mbuf { return n.rxRing.Peek() }
-
-// RxPending returns the number of packets waiting in the receive ring.
-func (n *NIC) RxPending() int { return n.rxRing.Len() }
-
-// IntrDone re-enables receive interrupts after the driver has drained the
-// ring. If packets arrived meanwhile, a new interrupt is raised
-// immediately (engine context).
-func (n *NIC) IntrDone() {
-	n.intrPending = false
-	if n.intrDisabled {
+// raiseRing invokes the interrupt callback for queue q's ring: the
+// per-queue line when installed, else the legacy single line.
+func (n *NIC) raiseRing(q int) {
+	if n.OnQueueIntr != nil {
+		n.OnQueueIntr(q)
 		return
 	}
-	if n.rxRing.Len() > 0 && n.Mode == ModeRaw {
-		n.intrPending = true
-		n.stats.HostIntrs++
-		if n.OnHostIntr != nil {
-			n.OnHostIntr()
-		}
+	if n.OnHostIntr != nil {
+		n.OnHostIntr()
 	}
 }
 
-// SetIntrEnabled enables or disables receive interrupts (the Mogul &
-// Ramakrishnan livelock mitigation disables them under overload and
-// polls instead). Re-enabling raises an interrupt immediately if packets
-// are waiting.
+// RxDequeue removes the next packet from receive queue 0 (driver code in
+// host interrupt context). It returns nil when the ring is empty.
+func (n *NIC) RxDequeue() *mbuf.Mbuf { return n.rxq[0].ring.Dequeue() }
+
+// RxDequeueQ removes the next packet from receive queue q's ring.
+func (n *NIC) RxDequeueQ(q int) *mbuf.Mbuf { return n.rxq[q].ring.Dequeue() }
+
+// RxPeek returns queue 0's ring head without removing it (drivers use it
+// to price data-dependent interrupt work before performing it).
+func (n *NIC) RxPeek() *mbuf.Mbuf { return n.rxq[0].ring.Peek() }
+
+// RxPeekQ returns queue q's ring head without removing it.
+func (n *NIC) RxPeekQ(q int) *mbuf.Mbuf { return n.rxq[q].ring.Peek() }
+
+// RxPending returns the number of packets waiting in queue 0's ring.
+func (n *NIC) RxPending() int { return n.rxq[0].ring.Len() }
+
+// RxPendingQ returns the number of packets waiting in queue q's ring.
+func (n *NIC) RxPendingQ(q int) int { return n.rxq[q].ring.Len() }
+
+// IntrDone re-enables queue 0's receive interrupts after the driver has
+// drained the ring. If packets arrived meanwhile, a new interrupt is
+// raised immediately (engine context).
+func (n *NIC) IntrDone() { n.IntrDoneQ(0) }
+
+// IntrDoneQ is IntrDone for receive queue q.
+func (n *NIC) IntrDoneQ(q int) {
+	rq := &n.rxq[q]
+	rq.intrPending = false
+	if n.intrDisabled {
+		return
+	}
+	if rq.ring.Len() > 0 && n.Mode == ModeRaw {
+		rq.intrPending = true
+		n.stats.HostIntrs++
+		rq.stats.HostIntrs++
+		n.raiseRing(q)
+	}
+}
+
+// SetIntrEnabled enables or disables receive interrupts on every queue
+// (the Mogul & Ramakrishnan livelock mitigation disables them under
+// overload and polls instead). Re-enabling raises an interrupt
+// immediately, in queue order, on each queue with packets waiting.
 func (n *NIC) SetIntrEnabled(enabled bool) {
 	n.intrDisabled = !enabled
-	if enabled && !n.intrPending && n.rxRing.Len() > 0 && n.Mode == ModeRaw {
-		n.intrPending = true
-		n.stats.HostIntrs++
-		if n.OnHostIntr != nil {
-			n.OnHostIntr()
+	if !enabled || n.Mode != ModeRaw {
+		return
+	}
+	for q := range n.rxq {
+		rq := &n.rxq[q]
+		if !rq.intrPending && rq.ring.Len() > 0 {
+			rq.intrPending = true
+			n.stats.HostIntrs++
+			rq.stats.HostIntrs++
+			n.raiseRing(q)
 		}
 	}
 }

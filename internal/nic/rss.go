@@ -1,0 +1,70 @@
+package nic
+
+// Receive-side scaling: the deterministic flow hash a multi-queue
+// adaptor applies to every arriving packet to pick a receive queue.
+// Real adaptors use a keyed Toeplitz hash over the same tuple; the
+// property that matters for the simulation — and for LRP's accounting
+// story — is that the mapping is a pure function of the flow identity,
+// so one flow's packets always land on one queue (and therefore one
+// CPU, under the queue→CPU affinity map), while a population of flows
+// spreads across queues.
+
+import "lrp/internal/pkt"
+
+// rssOffset and rssPrime are the FNV-1a constants; FNV is cheap,
+// deterministic, and spreads the low-entropy address/port tuples the
+// experiments use well enough for the ±10% uniformity the multi-queue
+// model needs.
+const (
+	rssOffset uint32 = 2166136261
+	rssPrime  uint32 = 16777619
+)
+
+// RSSHash hashes a flow tuple (source/destination address and port)
+// onto a 32-bit value. It is symmetric in nothing: direction matters,
+// exactly as on a real adaptor, so a request flow and its reply flow
+// may land on different queues of their respective hosts.
+func RSSHash(src, dst pkt.Addr, sport, dport uint16) uint32 {
+	h := rssOffset
+	for _, b := range src {
+		h = (h ^ uint32(b)) * rssPrime
+	}
+	for _, b := range dst {
+		h = (h ^ uint32(b)) * rssPrime
+	}
+	h = (h ^ uint32(sport>>8)) * rssPrime
+	h = (h ^ uint32(sport&0xff)) * rssPrime
+	h = (h ^ uint32(dport>>8)) * rssPrime
+	h = (h ^ uint32(dport&0xff)) * rssPrime
+	return h
+}
+
+// FlowHash extracts the flow tuple from a raw IPv4 packet and returns
+// its RSS hash. Fragments (including the first, which still carries
+// ports) hash on the address pair alone, so every fragment of a
+// datagram reaches the same queue — the same compromise real adaptors
+// make, since non-first fragments carry no transport header. Packets
+// too short or malformed to carry a tuple hash to a stable value on
+// the address bytes available, keeping the function total: the queue
+// choice must be defined for every packet the wire can deliver.
+//
+//lrp:hotpath
+func FlowHash(b []byte) uint32 {
+	if len(b) < pkt.IPv4HeaderLen {
+		return RSSHash(pkt.Addr{}, pkt.Addr{}, 0, 0)
+	}
+	var src, dst pkt.Addr
+	copy(src[:], b[12:16])
+	copy(dst[:], b[16:20])
+	hlen := int(b[0]&0x0f) * 4
+	ff := uint16(b[6])<<8 | uint16(b[7])
+	frag := ff&(pkt.FlagMoreFrags|0x1fff) != 0
+	proto := b[9]
+	if frag || (proto != pkt.ProtoUDP && proto != pkt.ProtoTCP) ||
+		hlen < pkt.IPv4HeaderLen || len(b) < hlen+4 {
+		return RSSHash(src, dst, 0, 0)
+	}
+	sport := uint16(b[hlen])<<8 | uint16(b[hlen+1])
+	dport := uint16(b[hlen+2])<<8 | uint16(b[hlen+3])
+	return RSSHash(src, dst, sport, dport)
+}

@@ -1,0 +1,126 @@
+package nic
+
+// Property tests for the RSS flow hash — the three guarantees the
+// multi-queue model leans on: the hash is a pure function (identical
+// across calls and process runs, pinned here by golden values), a flow
+// population spreads near-evenly across queues, and every packet of one
+// flow lands on one queue, fragments included.
+
+import (
+	"testing"
+
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// TestRSSHashGolden pins the hash function itself: these values were
+// computed by the current FNV-1a tuple hash, and any change to the
+// constants, byte order, or tuple layout shows up here before it
+// silently reshuffles every flow→queue map in the archived experiments.
+func TestRSSHashGolden(t *testing.T) {
+	cases := []struct {
+		src, dst     pkt.Addr
+		sport, dport uint16
+		want         uint32
+	}{
+		{pkt.IP(10, 0, 0, 1), pkt.IP(10, 0, 0, 2), 9000, 100, RSSHash(pkt.IP(10, 0, 0, 1), pkt.IP(10, 0, 0, 2), 9000, 100)},
+	}
+	// Self-consistency across repeated calls.
+	for _, c := range cases {
+		for i := 0; i < 3; i++ {
+			if got := RSSHash(c.src, c.dst, c.sport, c.dport); got != c.want {
+				t.Fatalf("RSSHash not stable: call %d gave %#x, first gave %#x", i, got, c.want)
+			}
+		}
+	}
+	// Golden values: the function, not just its stability.
+	golden := []struct {
+		src, dst     pkt.Addr
+		sport, dport uint16
+		want         uint32
+	}{
+		{pkt.IP(0, 0, 0, 0), pkt.IP(0, 0, 0, 0), 0, 0, 0xe23c62b5},
+		{pkt.IP(10, 0, 0, 1), pkt.IP(10, 0, 0, 2), 9000, 100, 0x81ca4967},
+		{pkt.IP(10, 0, 0, 2), pkt.IP(10, 0, 0, 1), 100, 9000, 0xf3033463},
+	}
+	for _, c := range golden {
+		if got := RSSHash(c.src, c.dst, c.sport, c.dport); got != c.want {
+			t.Errorf("RSSHash(%v,%v,%d,%d) = %#08x, want %#08x",
+				c.src, c.dst, c.sport, c.dport, got, c.want)
+		}
+	}
+	// Direction matters, as on a real adaptor.
+	fwd := RSSHash(pkt.IP(10, 0, 0, 1), pkt.IP(10, 0, 0, 2), 9000, 100)
+	rev := RSSHash(pkt.IP(10, 0, 0, 2), pkt.IP(10, 0, 0, 1), 100, 9000)
+	if fwd == rev {
+		t.Errorf("forward and reverse flows hash identically (%#x); direction must matter", fwd)
+	}
+}
+
+// TestRSSUniformity: a population of random flows spreads across every
+// queue count the simulator uses, each queue within ±10% of an even
+// share.
+func TestRSSUniformity(t *testing.T) {
+	rng := sim.NewRand(1)
+	const flows = 20000
+	type tuple struct {
+		src, dst     pkt.Addr
+		sport, dport uint16
+	}
+	pop := make([]tuple, flows)
+	for i := range pop {
+		pop[i] = tuple{
+			src:   pkt.IP(10, byte(rng.Int63n(4)), byte(rng.Int63n(256)), byte(rng.Int63n(256))),
+			dst:   pkt.IP(10, 0, 0, 2),
+			sport: uint16(1024 + rng.Int63n(60000)),
+			dport: uint16(1 + rng.Int63n(1024)),
+		}
+	}
+	for _, nq := range []int{2, 4, 8} {
+		counts := make([]int, nq)
+		for _, f := range pop {
+			counts[RSSHash(f.src, f.dst, f.sport, f.dport)%uint32(nq)]++
+		}
+		even := float64(flows) / float64(nq)
+		for q, n := range counts {
+			if frac := float64(n) / even; frac < 0.9 || frac > 1.1 {
+				t.Errorf("nq=%d: queue %d holds %d of %d flows (%.2fx even share, want within ±10%%)",
+					nq, q, n, flows, frac)
+			}
+		}
+	}
+}
+
+// TestRSSFlowAffinity: every packet of a flow — whole datagrams and all
+// fragments of a fragmented one — hashes to the same queue, so one
+// flow's receive processing stays on one CPU.
+func TestRSSFlowAffinity(t *testing.T) {
+	src, dst := pkt.IP(10, 0, 0, 1), pkt.IP(10, 0, 0, 2)
+	const sport, dport = 9001, 200
+	want := FlowHash(pkt.UDPPacket(src, dst, sport, dport, 1, 64, make([]byte, 32), true))
+	if want != RSSHash(src, dst, sport, dport) {
+		t.Fatalf("FlowHash %#x disagrees with RSSHash %#x for the same tuple",
+			want, RSSHash(src, dst, sport, dport))
+	}
+	// Repeated datagrams of the flow, varying id and payload.
+	for id := uint16(2); id < 32; id++ {
+		p := pkt.UDPPacket(src, dst, sport, dport, id, 64, make([]byte, int(id)), true)
+		if got := FlowHash(p); got != want {
+			t.Fatalf("datagram id=%d hashed to %#x, first to %#x: flow split across queues", id, got, want)
+		}
+	}
+	// Fragments hash on addresses alone — but still all to one value,
+	// and first fragments (which carry ports) must agree with later ones
+	// (which do not).
+	frag := pkt.UDPPacket(src, dst, sport, dport, 40, 64, make([]byte, 32), true)
+	frag[6] |= byte(pkt.FlagMoreFrags >> 8) // first fragment: MF set, offset 0
+	first := FlowHash(frag)
+	later := pkt.UDPPacket(src, dst, sport, dport, 40, 64, make([]byte, 32), true)
+	later[7] = 3 // non-first fragment: offset 3 (in 8-byte units)
+	if got := FlowHash(later); got != first {
+		t.Fatalf("fragments of one datagram split: first frag %#x, later frag %#x", first, got)
+	}
+	if first != RSSHash(src, dst, 0, 0) {
+		t.Fatalf("fragment hash %#x not the address-only hash %#x", first, RSSHash(src, dst, 0, 0))
+	}
+}

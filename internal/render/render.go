@@ -53,6 +53,8 @@ func Experiment(w io.Writer, e results.Experiment, o Options) {
 		printMedia(w, e.Media)
 	case "faults":
 		printFaults(w, e.Faults)
+	case "smp":
+		printSMP(w, e.SMP)
 	}
 }
 
@@ -187,6 +189,22 @@ func printMedia(w io.Writer, rows []results.MediaRow) {
 	fmt.Fprintf(w, "%-12s %10s %14s %12s\n", "System", "bg pkt/s", "mean jitter µs", "p99 µs")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-12s %10d %14.0f %12d\n", r.System, r.BgRate, r.MeanJitterUs, r.P99JitterUs)
+	}
+}
+
+func printSMP(w io.Writer, series []results.SMPSeries) {
+	fmt.Fprintln(w, "Multi-core scaling: single-queue vs RSS multi-queue receive")
+	fmt.Fprintf(w, "%-10s %-8s %6s %12s %14s %8s %8s %8s %8s\n",
+		"System", "queues", "cores", "offered", "goodput pkt/s", "p99 µs", "ipis", "steals", "wakes")
+	for _, s := range series {
+		for _, p := range s.Points {
+			p99 := fmt.Sprintf("%d", p.P99Us)
+			if p.P99Us < 0 {
+				p99 = "-"
+			}
+			fmt.Fprintf(w, "%-10s %-8s %6d %12d %14.0f %8s %8d %8d %8d\n",
+				s.System, s.Queues, p.Cores, p.OfferedPps, p.GoodputPps, p99, p.IPIs, p.Steals, p.RemoteWakes)
+		}
 	}
 }
 

@@ -75,11 +75,15 @@ func CheckSuite(s *Suite) []Violation {
 			out = append(out, CheckMedia(e.Media)...)
 		}
 	}
-	// The fault robustness curves are not part of the canonical suite
-	// (they run via `lrpbench faults`), but when a suite carries them
-	// they are held to their shapes too.
+	// The fault robustness curves and the multi-core scaling sweep are
+	// not part of the canonical suite (they run via `lrpbench faults` /
+	// `lrpbench smp`), but when a suite carries them they are held to
+	// their shapes too.
 	if e := s.Find("faults"); e != nil {
 		out = append(out, CheckFaults(e.Faults)...)
+	}
+	if e := s.Find("smp"); e != nil {
+		out = append(out, CheckSMP(e.SMP)...)
 	}
 	return out
 }
@@ -639,5 +643,166 @@ func checkTCPReorder(c *checker, cv FaultCurve) {
 			"tcp-reorder: %s kept only %.1f of %.1f Mbit/s", s.System, last.TCPMbps, base.TCPMbps)
 		c.assert(last.TCPMbps > bsdLast.TCPMbps, "lrp-above-bsd",
 			"tcp-reorder: %s %.1f Mbit/s not above BSD's %.1f", s.System, last.TCPMbps, bsdLast.TCPMbps)
+	}
+}
+
+// CheckSMP: the multi-core scaling sweep's shapes. Single-queue receive
+// serializes interrupt work on one CPU, so adding cores stops helping
+// once that CPU saturates — visible as BSD's single-queue goodput
+// ceiling. RSS multi-queue receive spreads flows across cores and
+// scales until a different resource runs out: for NI-LRP that resource
+// is the adaptor's embedded processor, which both queue modes share, so
+// its curves flatten together. The uniprocessor cells must be bitwise
+// mode-independent — with one core there is nothing to steer.
+func CheckSMP(series []SMPSeries) []Violation {
+	c := &checker{exp: "smp"}
+	byMode := map[string]map[string]SMPSeries{}
+	var systems []string
+	for _, s := range series {
+		if byMode[s.System] == nil {
+			byMode[s.System] = map[string]SMPSeries{}
+			systems = append(systems, s.System)
+		}
+		byMode[s.System][s.Queues] = s
+	}
+	for _, want := range []string{"4.4 BSD", "NI-LRP", "SOFT-LRP"} {
+		if byMode[want] == nil {
+			c.failf("systems", "system %q missing from the sweep", want)
+		}
+	}
+	if len(c.out) > 0 {
+		return c.out
+	}
+	ok := true
+	for _, sys := range systems {
+		for _, mode := range []string{"single", "multi"} {
+			s, found := byMode[sys][mode]
+			if !found {
+				c.failf("series", "%s: %s-queue series missing", sys, mode)
+				ok = false
+				continue
+			}
+			if !checkSMPShape(c, s) {
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		return c.out
+	}
+	for _, sys := range systems {
+		checkSMPSystem(c, sys, byMode[sys]["single"], byMode[sys]["multi"])
+	}
+	checkSMPContrast(c, byMode)
+	return c.out
+}
+
+// checkSMPShape verifies one series' structure; the cross-series shape
+// checks only run when every series holds.
+func checkSMPShape(c *checker, s SMPSeries) bool {
+	name := s.System + "/" + s.Queues
+	if len(s.Points) < 3 {
+		c.failf("points", "%s: %d core counts, want at least 1, 2 and a larger M", name, len(s.Points))
+		return false
+	}
+	if s.Points[0].Cores != 1 {
+		c.failf("baseline", "%s: first point has %d cores, want a uniprocessor baseline", name, s.Points[0].Cores)
+		return false
+	}
+	perCore := s.Points[0].OfferedPps
+	for i, p := range s.Points {
+		if i > 0 && p.Cores <= s.Points[i-1].Cores {
+			c.failf("ascending", "%s: core counts not ascending at point %d", name, i)
+			return false
+		}
+		c.assert(p.OfferedPps == perCore*int64(p.Cores), "offered-scales",
+			"%s: %d cores offered %d pkt/s, want %d (one %d pkt/s flow per core)",
+			name, p.Cores, p.OfferedPps, perCore*int64(p.Cores), perCore)
+		c.assert(p.GoodputPps > 0, "goodput",
+			"%s: no packets delivered at %d cores", name, p.Cores)
+	}
+	return true
+}
+
+// checkSMPSystem verifies one system's pair of curves against each
+// other: bitwise-identical uniprocessor cells, quiet SMP counters at
+// one core and live ones beyond it, and near-linear multi-queue scaling
+// from one core to two.
+func checkSMPSystem(c *checker, sys string, single, multi SMPSeries) {
+	c.assert(single.Points[0] == multi.Points[0], "uniprocessor-identical",
+		"%s: single-queue and multi-queue 1-core cells differ; with one core the modes must be indistinguishable", sys)
+	for _, s := range []SMPSeries{single, multi} {
+		name := s.System + "/" + s.Queues
+		base := s.Points[0]
+		c.assert(base.IPIs == 0 && base.RemoteWakes == 0 && base.Steals == 0 && base.Halts == 0,
+			"uniprocessor-quiet",
+			"%s: SMP counters nonzero at 1 core (ipis=%d wakes=%d steals=%d halts=%d)",
+			name, base.IPIs, base.RemoteWakes, base.Steals, base.Halts)
+		for _, p := range s.Points[1:] {
+			c.assert(p.IPIs > 0 && p.RemoteWakes > 0, "cross-cpu-traffic",
+				"%s: no cross-CPU wakeups at %d cores (ipis=%d wakes=%d)",
+				name, p.Cores, p.IPIs, p.RemoteWakes)
+			c.assert(p.RemoteWakes >= p.IPIs, "ipi-coalesced",
+				"%s: %d IPIs delivered for %d remote wakeups at %d cores; the line coalesces, never amplifies",
+				name, p.IPIs, p.RemoteWakes, p.Cores)
+			c.assert(p.Halts > 0, "idle-halts",
+				"%s: no idle halts at %d cores", name, p.Cores)
+		}
+	}
+	two := multi.Points[1]
+	c.assert(two.Cores == 2 && two.GoodputPps >= 1.8*multi.Points[0].GoodputPps, "multi-queue-scales",
+		"%s: multi-queue goodput %.0f at 2 cores vs %.0f at 1; RSS should scale near-linearly below saturation",
+		sys, two.GoodputPps, multi.Points[0].GoodputPps)
+}
+
+// checkSMPContrast verifies the headline cross-system shapes at the
+// largest core count.
+func checkSMPContrast(c *checker, byMode map[string]map[string]SMPSeries) {
+	last := func(s SMPSeries) SMPPoint { return s.Points[len(s.Points)-1] }
+
+	// BSD: the single shared interrupt CPU is the bottleneck — its
+	// goodput hits a ceiling well under the offered load while RSS
+	// steering keeps up with it.
+	bsdS, bsdM := last(byMode["4.4 BSD"]["single"]), last(byMode["4.4 BSD"]["multi"])
+	c.assert(bsdS.GoodputPps <= 0.85*float64(bsdS.OfferedPps), "bsd-single-ceiling",
+		"BSD single-queue delivered %.0f of %d offered at %d cores; one interrupt CPU should not keep up",
+		bsdS.GoodputPps, bsdS.OfferedPps, bsdS.Cores)
+	c.assert(bsdM.GoodputPps >= 0.9*float64(bsdM.OfferedPps), "bsd-multi-keeps-up",
+		"BSD multi-queue delivered %.0f of %d offered at %d cores", bsdM.GoodputPps, bsdM.OfferedPps, bsdM.Cores)
+	c.assert(bsdM.GoodputPps >= 1.25*bsdS.GoodputPps, "bsd-contrast",
+		"BSD multi-queue goodput %.0f not clearly above single-queue %.0f at %d cores",
+		bsdM.GoodputPps, bsdS.GoodputPps, bsdM.Cores)
+
+	// NI-LRP: demux runs on the adaptor's embedded processor, which does
+	// not multiply with host cores. Both queue modes share that limit, so
+	// at the largest core count the curves flatten together: well under
+	// the offered load, well under linear scaling from 2 cores, and
+	// within 10% of each other.
+	niS, niM := last(byMode["NI-LRP"]["single"]), last(byMode["NI-LRP"]["multi"])
+	niTwo := byMode["NI-LRP"]["multi"].Points[1]
+	c.assert(niM.GoodputPps <= 0.8*float64(niM.OfferedPps), "ni-adaptor-saturates",
+		"NI-LRP delivered %.0f of %d offered at %d cores; the embedded processor should saturate first",
+		niM.GoodputPps, niM.OfferedPps, niM.Cores)
+	c.assert(niM.GoodputPps <= 1.6*niTwo.GoodputPps, "ni-scaling-stops",
+		"NI-LRP goodput %.0f at %d cores vs %.0f at 2; scaling should stop at the adaptor's limit",
+		niM.GoodputPps, niM.Cores, niTwo.GoodputPps)
+	hi, lo := niM.GoodputPps, niS.GoodputPps
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	c.assert(hi <= 1.1*lo, "ni-modes-converge",
+		"NI-LRP single %.0f vs multi %.0f at %d cores; a shared adaptor limit should bind both modes",
+		niS.GoodputPps, niM.GoodputPps, niM.Cores)
+
+	// SOFT-LRP: stealing keeps goodput up even single-queue, so the
+	// contrast shows in probe latency — spreading interrupt work off the
+	// probe's CPU path keeps the tail down.
+	softS, softM := last(byMode["SOFT-LRP"]["single"]), last(byMode["SOFT-LRP"]["multi"])
+	c.assert(softS.P99Us > 0 && softM.P99Us > 0, "soft-probes-survive",
+		"SOFT-LRP probes lost at %d cores (single p99=%d, multi p99=%d)", softM.Cores, softS.P99Us, softM.P99Us)
+	if softS.P99Us > 0 && softM.P99Us > 0 {
+		c.assert(softM.P99Us <= softS.P99Us, "soft-latency-contrast",
+			"SOFT-LRP multi-queue p99 %dµs above single-queue %dµs at %d cores",
+			softM.P99Us, softS.P99Us, softM.Cores)
 	}
 }

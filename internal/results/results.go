@@ -128,6 +128,31 @@ type FaultCurve struct {
 	Series     []FaultSeries `json:"series"`
 }
 
+// SMPPoint is one core-count cell of a multi-core scaling curve: the
+// aggregate blast goodput a multi-CPU server consumes, the p99 latency
+// of a probe running beside the blast, and the SMP-machinery counters
+// (remote wakeups, IPIs taken, steals, idle halts) summed over CPUs.
+type SMPPoint struct {
+	Cores       int     `json:"cores"`
+	OfferedPps  int64   `json:"offered_pps"`  // aggregate blast rate across all flows
+	GoodputPps  float64 `json:"goodput_pps"`  // blast packets consumed by sink processes per second
+	P99Us       int64   `json:"p99_us"`       // ping-pong p99 RTT in µs; -1 when every probe was lost
+	RemoteWakes uint64  `json:"remote_wakes"` // cross-CPU wakeups during the measurement run
+	IPIs        uint64  `json:"ipis"`         // inter-processor interrupts delivered
+	Steals      uint64  `json:"steals"`       // processes migrated by work stealing
+	Halts       uint64  `json:"halts"`        // idle-halt transitions
+}
+
+// SMPSeries is one (system, queue-mode) scaling curve: Queues is
+// "single" (one rx ring, every network interrupt on CPU 0) or "multi"
+// (one RSS-steered ring per core; NI-LRP routes channel interrupts to
+// the owning process's CPU instead).
+type SMPSeries struct {
+	System string     `json:"system"`
+	Queues string     `json:"queues"`
+	Points []SMPPoint `json:"points"`
+}
+
 // Experiment is one named experiment's typed payload. Exactly one data
 // field is populated, matching Name.
 type Experiment struct {
@@ -141,6 +166,7 @@ type Experiment struct {
 	Ablations []AblationRow `json:"ablations,omitempty"`
 	Media     []MediaRow    `json:"media,omitempty"`
 	Faults    []FaultCurve  `json:"faults,omitempty"`
+	SMP       []SMPSeries   `json:"smp,omitempty"`
 }
 
 // Suite is a whole lrpbench run: run parameters plus every experiment's
@@ -194,6 +220,8 @@ func (e *Experiment) payload() bool {
 		return len(e.Media) > 0
 	case "faults":
 		return len(e.Faults) > 0
+	case "smp":
+		return len(e.SMP) > 0
 	}
 	return false
 }
