@@ -1,5 +1,5 @@
 // Command lrplint runs the repository's static-analysis suite: the
-// determinism, mbufown, eventhandle, and hotalloc analyzers (see
+// determinism, mbufown, eventhandle, hotalloc, and stepfn analyzers (see
 // internal/analysis and the "Static analysis & invariants" section of
 // DESIGN.md). It exits nonzero when any finding survives, so CI can gate
 // on it:

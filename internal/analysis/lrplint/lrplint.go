@@ -11,6 +11,7 @@ import (
 	"lrp/internal/analysis/framework"
 	"lrp/internal/analysis/hotalloc"
 	"lrp/internal/analysis/mbufown"
+	"lrp/internal/analysis/stepfn"
 )
 
 // Analyzers returns the full suite in reporting order.
@@ -20,6 +21,7 @@ func Analyzers() []*framework.Analyzer {
 		mbufown.Analyzer,
 		eventhandle.Analyzer,
 		hotalloc.Analyzer,
+		stepfn.Analyzer,
 	}
 }
 

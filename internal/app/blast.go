@@ -95,6 +95,9 @@ type BlastSink struct {
 	// CPU is the simulated CPU the sink process is spawned on (multi-CPU
 	// hosts; 0 — the boot CPU — otherwise).
 	CPU int
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Received metrics.Counter
 	Proc     *kernel.Proc
@@ -103,18 +106,34 @@ type BlastSink struct {
 
 // Start spawns the sink process.
 func (s *BlastSink) Start() {
-	s.Proc = s.Host.KernelAt(s.CPU).Spawn("blast-sink", 0, func(p *kernel.Proc) {
-		p.IntrPenalty = s.DisturbPenalty
-		s.Sock = s.Host.NewUDPSocket(p)
-		if err := s.Host.BindUDP(s.Sock, s.Port); err != nil {
-			panic(err)
-		}
+	var (
+		pc   int
+		recv core.RecvFromOp
+	)
+	s.Proc = spawnStep(s.Host.KernelAt(s.CPU), "blast-sink", 0, s.Coroutine, func(p *kernel.Proc) {
 		for {
-			if _, err := s.Host.RecvFrom(p, s.Sock); err != nil {
-				return
+			switch pc {
+			case 0:
+				p.IntrPenalty = s.DisturbPenalty
+				s.Sock = s.Host.NewUDPSocket(p)
+				if err := s.Host.BindUDP(s.Sock, s.Port); err != nil {
+					panic(err)
+				}
+				pc = 1
+			case 1:
+				if !s.Host.RecvFromStep(p, s.Sock, &recv) {
+					return
+				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				recv.Reset()
+				s.Received.Inc()
+				if p.ReqCompute(s.PerPktCompute) {
+					return
+				}
 			}
-			s.Received.Inc()
-			p.Compute(s.PerPktCompute)
 		}
 	})
 }
@@ -124,9 +143,7 @@ func (s *BlastSink) Start() {
 // low-priority (nice +20) background process executing an infinite
 // loop"), used to keep the CPU out of the idle loop.
 func Spinner(h *core.Host, name string) *kernel.Proc {
-	return h.K.Spawn(name, 20, func(p *kernel.Proc) {
-		for {
-			p.Compute(10 * sim.Millisecond)
-		}
+	return h.K.SpawnStep(name, 20, func(p *kernel.Proc) {
+		p.ReqCompute(10 * sim.Millisecond)
 	})
 }

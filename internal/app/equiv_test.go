@@ -1,0 +1,150 @@
+package app
+
+// Dual-mode equivalence: every workload in this package is a StepFn
+// state machine that can be hosted stacklessly (SpawnStep) or on a
+// goroutine coroutine (SpawnStepCoro), selected by the Coroutine flag;
+// the kernel daemons flip the same way via core.Config.CoroutineProcs.
+// The two modes must be indistinguishable in simulation: identical
+// event-by-event traces and identical accounting. These tests run full
+// workload worlds both ways and compare everything observable.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lrp/internal/core"
+	"lrp/internal/netsim"
+	"lrp/internal/sim"
+)
+
+// equivWorld runs a mixed UDP+TCP workload world — ping-pong, blast,
+// window transfer, HTTP, RPC, media — with every process hosted in the
+// given mode, and renders the complete observable outcome: both hosts'
+// traces, statistics, per-process accounting, and workload results.
+func equivWorld(arch core.Arch, coro bool) string {
+	eng := sim.NewEngine()
+	nw := netsim.New(eng)
+	client := core.NewHost(eng, nw, core.Config{
+		Name: "client", Addr: addrA, Arch: arch, CoroutineProcs: coro,
+	})
+	server := core.NewHost(eng, nw, core.Config{
+		Name: "server", Addr: addrB, Arch: arch, CoroutineProcs: coro,
+	})
+	defer client.Shutdown()
+	defer server.Shutdown()
+	ct := client.EnableTrace(1 << 14)
+	st := server.EnableTrace(1 << 14)
+
+	pps := &PingPongServer{Host: server, Port: 7, Coroutine: coro}
+	pps.Start()
+	ppc := &PingPongClient{
+		Host: client, ServerAddr: addrB, ServerPort: 7,
+		Iterations: 40, Interval: 3000, Coroutine: coro,
+	}
+	ppc.Start()
+
+	sink := &BlastSink{Host: server, Port: 9, PerPktCompute: 20, Coroutine: coro}
+	sink.Start()
+	src := &BlastSource{
+		Net: nw, Src: addrA, Dst: addrB, SPort: 1, DPort: 9,
+		Size: 14, Rate: 3000, Rng: sim.NewRand(5),
+	}
+	src.Start()
+
+	wrx := &UDPWindowReceiver{Host: server, Port: 11, Coroutine: coro}
+	wrx.Start()
+	wtx := &UDPWindowSender{
+		Host: client, PeerAddr: addrB, PeerPort: 11,
+		Size: 1024, Window: 4, TotalBytes: 64 * 1024, Coroutine: coro,
+	}
+	wtx.Start()
+
+	xfer := &TCPTransfer{
+		Server: server, Client: client, ServerAddr: addrB,
+		Port: 13, TotalBytes: 256 * 1024, Coroutine: coro,
+	}
+	xfer.Start()
+
+	httpd := &HTTPServer{Host: server, Port: 80, Coroutine: coro}
+	httpd.Start()
+	web := &HTTPClient{
+		Host: client, ServerAddr: addrB, ServerPort: 80,
+		Name: "web-cli", Coroutine: coro,
+	}
+	web.Start()
+
+	rpcs := &RPCServer{Host: server, Port: 17, PerCallCompute: 100, Coroutine: coro}
+	rpcs.Start()
+	rpcc := &RPCClient{
+		Host: client, ServerAddr: addrB, ServerPort: 17,
+		Interval: 2000, Outstanding: 2, Coroutine: coro,
+	}
+	rpcc.Start()
+
+	player := &MediaPlayer{Host: client, Port: 19, PerFrameCompute: 50, Coroutine: coro}
+	player.Start()
+	ms := &MediaSource{
+		Net: nw, Src: addrB, Dst: addrA, SPort: 2, DPort: 19,
+		FrameSize: 1000, Interval: 20_000,
+	}
+	ms.Start()
+
+	eng.RunFor(2 * sim.Second)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "pingpong rtt=%d mean=%.3f lost=%d done=%v\n",
+		ppc.RTT.Count(), ppc.RTT.Mean(), ppc.Lost, ppc.Done)
+	fmt.Fprintf(&b, "blast sent=%d recv=%d\n", src.Sent.Total(), sink.Received.Total())
+	fmt.Fprintf(&b, "window pkts=%d bytes=%d sent=%d fin=%v\n",
+		wrx.Pkts.Total(), wrx.Bytes.Total(), wtx.Sent.Total(), wtx.Finished)
+	fmt.Fprintf(&b, "tcpxfer recv=%d done=%v mbps=%.3f\n",
+		xfer.Received, xfer.Done, xfer.ThroughputMbps())
+	fmt.Fprintf(&b, "http served=%d completed=%d failed=%d latmean=%.3f\n",
+		httpd.Served.Total(), web.Completed.Total(), web.Failures.Total(), web.Latency.Mean())
+	fmt.Fprintf(&b, "rpc served=%d completed=%d rttmean=%.3f\n",
+		rpcs.Served.Total(), rpcc.Completed.Total(), rpcc.RTT.Mean())
+	fmt.Fprintf(&b, "media frames=%d jitmean=%.3f\n", player.Frames.Total(), player.Jitter.Mean())
+	for _, h := range []*core.Host{client, server} {
+		fmt.Fprintf(&b, "%s stats=%+v\n", h.Name, h.Stats())
+		for _, p := range h.K.Procs() {
+			fmt.Fprintf(&b, "  proc %s utime=%d stime=%d dead=%v\n",
+				p.Name, p.UTime, p.STime, p.Dead())
+		}
+	}
+	fmt.Fprintf(&b, "-- client trace (%d events, %d overwritten) --\n%s", ct.Len(), ct.Overwritten(), ct.Dump())
+	fmt.Fprintf(&b, "-- server trace (%d events, %d overwritten) --\n%s", st.Len(), st.Overwritten(), st.Dump())
+	return b.String()
+}
+
+// TestStacklessCoroutineEquivalence requires a full workload world to
+// produce identical traces and accounting whether every process runs
+// stacklessly or on goroutine coroutines, under both the LRP and BSD
+// architectures (LRP exercises the APP and idle daemons; BSD the softint
+// path).
+func TestStacklessCoroutineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full workload worlds; skipped in -short")
+	}
+	for _, arch := range []core.Arch{core.ArchSoftLRP, core.ArchBSD} {
+		stackless := equivWorld(arch, false)
+		coro := equivWorld(arch, true)
+		if stackless != coro {
+			t.Errorf("%v: stackless and coroutine worlds diverged:\n%s", arch, firstDiff(stackless, coro))
+		}
+		if !strings.Contains(stackless, "done=true") {
+			t.Errorf("%v: ping-pong client did not finish:\n%s", arch, stackless[:200])
+		}
+	}
+}
+
+// firstDiff locates the first differing line of two multi-line strings.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  stackless: %s\n  coroutine: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

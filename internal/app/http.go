@@ -24,6 +24,10 @@ type HTTPServer struct {
 	// PerRequestCompute models request parsing, filesystem lookup and
 	// response generation.
 	PerRequestCompute int64
+	// Coroutine hosts the accept loop and handler processes on goroutine
+	// coroutines instead of stepping them stacklessly (the fallback
+	// execution mode).
+	Coroutine bool
 
 	Served  metrics.Counter
 	Proc    *kernel.Proc
@@ -42,44 +46,97 @@ func (s *HTTPServer) Start() {
 	if s.PerRequestCompute == 0 {
 		s.PerRequestCompute = 500
 	}
-	s.Proc = s.Host.K.Spawn("httpd", 0, func(p *kernel.Proc) {
-		l := s.Host.NewTCPSocket(p)
-		if err := s.Host.BindTCP(l, s.Port); err != nil {
-			panic(err)
-		}
-		if err := s.Host.Listen(p, l, s.Backlog); err != nil {
-			panic(err)
-		}
-		s.started = true
-		n := 0
+	var (
+		pc  int
+		l   *socket.Socket
+		n   int
+		lis core.ListenOp
+		acc core.AcceptOp
+	)
+	s.Proc = spawnStep(s.Host.K, "httpd", 0, s.Coroutine, func(p *kernel.Proc) {
 		for {
-			cs, err := s.Host.Accept(p, l)
-			if err != nil {
-				return
+			switch pc {
+			case 0:
+				l = s.Host.NewTCPSocket(p)
+				if err := s.Host.BindTCP(l, s.Port); err != nil {
+					panic(err)
+				}
+				pc = 1
+			case 1:
+				if !s.Host.ListenStep(p, l, s.Backlog, &lis) {
+					return
+				}
+				if lis.Err != nil {
+					panic(lis.Err)
+				}
+				s.started = true
+				pc = 2
+			case 2:
+				if !s.Host.AcceptStep(p, l, &acc) {
+					return
+				}
+				if acc.Err != nil {
+					p.ReqExit()
+					return
+				}
+				cs := acc.NS
+				acc = core.AcceptOp{}
+				n++
+				name := fmt.Sprintf("httpd-%d", n)
+				spawnStep(s.Host.K, name, 0, s.Coroutine, s.handleStep(cs))
 			}
-			n++
-			name := fmt.Sprintf("httpd-%d", n)
-			s.Host.K.Spawn(name, 0, func(hp *kernel.Proc) {
-				s.handle(hp, cs)
-			})
 		}
 	})
 }
 
-// handle serves one connection: read the request, compute, respond, close.
-func (s *HTTPServer) handle(p *kernel.Proc, cs *socket.Socket) {
-	req, err := s.Host.RecvStream(p, cs, 4096)
-	if err != nil || req == nil {
-		s.Host.AbortTCP(nil, cs)
-		return
+// handleStep builds the per-connection handler machine: read the request,
+// compute, respond, close.
+func (s *HTTPServer) handleStep(cs *socket.Socket) kernel.StepFn {
+	var (
+		pc int
+		rs core.RecvStreamOp
+		ss core.SendStreamOp
+		cl core.CloseTCPOp
+	)
+	return func(p *kernel.Proc) {
+		for {
+			switch pc {
+			case 0:
+				if !s.Host.RecvStreamStep(p, cs, 4096, &rs) {
+					return
+				}
+				if rs.Err != nil || rs.Data == nil {
+					s.Host.AbortTCP(nil, cs)
+					p.ReqExit()
+					return
+				}
+				pc = 1
+				if p.ReqCompute(s.PerRequestCompute) {
+					return
+				}
+			case 1:
+				ss = core.SendStreamOp{Data: s.doc()}
+				pc = 2
+			case 2:
+				if !s.Host.SendStreamStep(p, cs, &ss) {
+					return
+				}
+				if ss.Err != nil {
+					s.Host.AbortTCP(nil, cs)
+					p.ReqExit()
+					return
+				}
+				pc = 3
+			case 3:
+				if !s.Host.CloseTCPStep(p, cs, &cl) {
+					return
+				}
+				s.Served.Inc()
+				p.ReqExit()
+				return
+			}
+		}
 	}
-	p.Compute(s.PerRequestCompute)
-	if _, err := s.Host.SendStream(p, cs, s.doc()); err != nil {
-		s.Host.AbortTCP(nil, cs)
-		return
-	}
-	s.Host.CloseTCP(p, cs)
-	s.Served.Inc()
 }
 
 // doc builds the response document.
@@ -97,6 +154,9 @@ type HTTPClient struct {
 	ServerAddr pkt.Addr
 	ServerPort uint16
 	Name       string
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Completed metrics.Counter
 	Failures  metrics.Counter
@@ -104,49 +164,106 @@ type HTTPClient struct {
 	Proc      *kernel.Proc
 }
 
-// Start spawns the client process.
+// HTTP client machine states: one fetch per pass through hcConn..hcClose.
+const (
+	hcStart = iota
+	hcConn
+	hcSend
+	hcRecv
+	hcClose
+)
+
+// Start spawns the client process: a loop of HTTP/1.0 transactions, each
+// on a fresh connection, with a browser-like pause after a failure.
 func (c *HTTPClient) Start() {
-	c.Proc = c.Host.K.Spawn(c.Name, 0, func(p *kernel.Proc) {
+	var (
+		pc    int
+		start sim.Time
+		sck   *socket.Socket
+		ok    bool
+		conn  core.ConnectTCPOp
+		ss    core.SendStreamOp
+		rs    core.RecvStreamOp
+		cl    core.CloseTCPOp
+	)
+	fail := func(p *kernel.Proc) bool {
+		c.Host.AbortTCP(nil, sck)
+		c.Failures.Inc()
+		pc = hcStart
+		// Brief pause before retrying a failed transfer, like a browser
+		// user.
+		return p.ReqDelay(100 * sim.Millisecond)
+	}
+	c.Proc = spawnStep(c.Host.K, c.Name, 0, c.Coroutine, func(p *kernel.Proc) {
 		for {
-			start := p.Now()
-			if c.fetch(p) {
-				c.Completed.Inc()
-				c.Latency.Add(p.Now() - start)
-			} else {
+			switch pc {
+			case hcStart:
+				start = p.Now()
+				sck = c.Host.NewTCPSocket(p)
+				ok = false
+				conn = core.ConnectTCPOp{}
+				pc = hcConn
+			case hcConn:
+				if !c.Host.ConnectTCPStep(p, sck, c.ServerAddr, c.ServerPort, &conn) {
+					return
+				}
+				if conn.Err != nil {
+					if fail(p) {
+						return
+					}
+					continue
+				}
+				ss = core.SendStreamOp{Data: []byte("GET /index.html HTTP/1.0\r\n\r\n")}
+				pc = hcSend
+			case hcSend:
+				if !c.Host.SendStreamStep(p, sck, &ss) {
+					return
+				}
+				if ss.Err != nil {
+					if fail(p) {
+						return
+					}
+					continue
+				}
+				rs = core.RecvStreamOp{}
+				pc = hcRecv
+			case hcRecv:
+				if !c.Host.RecvStreamStep(p, sck, 16*1024, &rs) {
+					return
+				}
+				if rs.Err != nil {
+					if fail(p) {
+						return
+					}
+					continue
+				}
+				if rs.Data == nil { // EOF
+					cl = core.CloseTCPOp{}
+					pc = hcClose
+					continue
+				}
+				if len(rs.Data) > 0 {
+					ok = true
+				}
+				rs = core.RecvStreamOp{}
+			case hcClose:
+				if !c.Host.CloseTCPStep(p, sck, &cl) {
+					return
+				}
+				if ok {
+					c.Completed.Inc()
+					c.Latency.Add(p.Now() - start)
+					pc = hcStart
+					continue
+				}
 				c.Failures.Inc()
+				pc = hcStart
 				// Brief pause before retrying a failed transfer, like a
 				// browser user.
-				p.Delay(100 * sim.Millisecond)
+				if p.ReqDelay(100 * sim.Millisecond) {
+					return
+				}
 			}
 		}
 	})
-}
-
-// fetch performs one HTTP/1.0 transaction; false on any failure.
-func (c *HTTPClient) fetch(p *kernel.Proc) bool {
-	s := c.Host.NewTCPSocket(p)
-	if err := c.Host.ConnectTCP(p, s, c.ServerAddr, c.ServerPort); err != nil {
-		c.Host.AbortTCP(nil, s)
-		return false
-	}
-	if _, err := c.Host.SendStream(p, s, []byte("GET /index.html HTTP/1.0\r\n\r\n")); err != nil {
-		c.Host.AbortTCP(nil, s)
-		return false
-	}
-	ok := false
-	for {
-		data, err := c.Host.RecvStream(p, s, 16*1024)
-		if err != nil {
-			c.Host.AbortTCP(nil, s)
-			return false
-		}
-		if data == nil {
-			break // EOF
-		}
-		if len(data) > 0 {
-			ok = true
-		}
-	}
-	c.Host.CloseTCP(p, s)
-	return ok
 }

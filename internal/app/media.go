@@ -8,6 +8,7 @@ import (
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
+	"lrp/internal/socket"
 )
 
 // The paper's §2.2 motivates LRP for multimedia: "Scheduling anomalies,
@@ -74,6 +75,9 @@ type MediaPlayer struct {
 	Interval int64
 	// PerFrameCompute models decode work.
 	PerFrameCompute int64
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Frames metrics.Counter
 	Jitter metrics.Histogram
@@ -85,27 +89,44 @@ func (m *MediaPlayer) Start() {
 	if m.Interval == 0 {
 		m.Interval = 33_333
 	}
-	m.Proc = m.Host.K.Spawn("media-player", 0, func(p *kernel.Proc) {
-		sock := m.Host.NewUDPSocket(p)
-		if err := m.Host.BindUDP(sock, m.Port); err != nil {
-			panic(err)
-		}
-		var last sim.Time
+	var (
+		pc   int
+		sock *socket.Socket
+		last sim.Time
+		recv core.RecvFromOp
+	)
+	m.Proc = spawnStep(m.Host.K, "media-player", 0, m.Coroutine, func(p *kernel.Proc) {
 		for {
-			if _, err := m.Host.RecvFrom(p, sock); err != nil {
-				return
-			}
-			now := p.Now()
-			if last != 0 {
-				dev := now - last - m.Interval
-				if dev < 0 {
-					dev = -dev
+			switch pc {
+			case 0:
+				sock = m.Host.NewUDPSocket(p)
+				if err := m.Host.BindUDP(sock, m.Port); err != nil {
+					panic(err)
 				}
-				m.Jitter.Add(dev)
+				pc = 1
+			case 1:
+				if !m.Host.RecvFromStep(p, sock, &recv) {
+					return
+				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				recv.Reset()
+				now := p.Now()
+				if last != 0 {
+					dev := now - last - m.Interval
+					if dev < 0 {
+						dev = -dev
+					}
+					m.Jitter.Add(dev)
+				}
+				last = now
+				m.Frames.Inc()
+				if p.ReqCompute(m.PerFrameCompute) {
+					return
+				}
 			}
-			last = now
-			m.Frames.Inc()
-			p.Compute(m.PerFrameCompute)
 		}
 	})
 }

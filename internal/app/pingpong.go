@@ -6,6 +6,7 @@ import (
 	"lrp/internal/metrics"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
+	"lrp/internal/socket"
 )
 
 // PingPongServer echoes datagrams on a port ("a server process (ping-pong
@@ -15,24 +16,59 @@ type PingPongServer struct {
 	Port uint16
 	// CPU is the simulated CPU the echo process is spawned on (multi-CPU
 	// hosts; 0 — the boot CPU — otherwise).
-	CPU  int
-	Proc *kernel.Proc
+	CPU int
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
+	Proc      *kernel.Proc
 }
+
+// Echo-server machine states.
+const (
+	ppsSetup = iota
+	ppsRecv
+	ppsSend
+)
 
 // Start spawns the echo process.
 func (s *PingPongServer) Start() {
-	s.Proc = s.Host.KernelAt(s.CPU).Spawn("pingpong-srv", 0, func(p *kernel.Proc) {
-		sock := s.Host.NewUDPSocket(p)
-		if err := s.Host.BindUDP(sock, s.Port); err != nil {
-			panic(err)
-		}
+	var (
+		pc   int
+		sock *socket.Socket
+		d    socket.Datagram
+		recv core.RecvFromOp
+		send core.SendToOp
+	)
+	s.Proc = spawnStep(s.Host.KernelAt(s.CPU), "pingpong-srv", 0, s.Coroutine, func(p *kernel.Proc) {
 		for {
-			d, err := s.Host.RecvFrom(p, sock)
-			if err != nil {
-				return
-			}
-			if err := s.Host.SendTo(p, sock, d.Src, d.SPort, d.Data); err != nil {
-				return
+			switch pc {
+			case ppsSetup:
+				sock = s.Host.NewUDPSocket(p)
+				if err := s.Host.BindUDP(sock, s.Port); err != nil {
+					panic(err)
+				}
+				pc = ppsRecv
+			case ppsRecv:
+				if !s.Host.RecvFromStep(p, sock, &recv) {
+					return
+				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				d = recv.D
+				recv.Reset()
+				send.Reset()
+				pc = ppsSend
+			case ppsSend:
+				if !s.Host.SendToStep(p, sock, d.Src, d.SPort, d.Data, &send) {
+					return
+				}
+				if send.Err != nil {
+					p.ReqExit()
+					return
+				}
+				pc = ppsRecv
 			}
 		}
 	})
@@ -61,12 +97,24 @@ type PingPongClient struct {
 	// "packet dropping at the IP queue makes latency measurements
 	// impossible at rates beyond 15,000 pkts/sec").
 	ReplyTimeout int64
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	RTT  metrics.Histogram
 	Lost int
 	Done bool
 	Proc *kernel.Proc
 }
+
+// Probe-client machine states.
+const (
+	ppcSetup = iota
+	ppcLoop
+	ppcProbe
+	ppcSend
+	ppcRecv
+)
 
 // Start spawns the client process.
 func (c *PingPongClient) Start() {
@@ -76,33 +124,74 @@ func (c *PingPongClient) Start() {
 	if c.ReplyTimeout == 0 {
 		c.ReplyTimeout = 500 * sim.Millisecond
 	}
-	c.Proc = c.Host.K.Spawn("pingpong-cli", 0, func(p *kernel.Proc) {
-		sock := c.Host.NewUDPSocket(p)
-		if err := c.Host.BindUDP(sock, 0); err != nil {
-			panic(err)
+	var (
+		pc    int
+		sock  *socket.Socket
+		msg   []byte
+		total int
+		i     int
+		start sim.Time
+		recv  core.RecvFromOp
+		send  core.SendToOp
+	)
+	c.Proc = spawnStep(c.Host.K, "pingpong-cli", 0, c.Coroutine, func(p *kernel.Proc) {
+		for {
+			switch pc {
+			case ppcSetup:
+				sock = c.Host.NewUDPSocket(p)
+				if err := c.Host.BindUDP(sock, 0); err != nil {
+					panic(err)
+				}
+				msg = make([]byte, c.MsgSize)
+				total = c.Iterations + c.Warmup
+				recv = core.RecvFromOp{Timed: true, Timeout: c.ReplyTimeout}
+				pc = ppcLoop
+				if p.ReqDelay(c.StartAfter) {
+					return
+				}
+			case ppcLoop:
+				if c.Iterations != 0 && i >= total {
+					c.Done = true
+					p.ReqExit()
+					return
+				}
+				pc = ppcProbe
+				if p.ReqDelay(c.Interval) {
+					return
+				}
+			case ppcProbe:
+				start = p.Now()
+				send.Reset()
+				pc = ppcSend
+			case ppcSend:
+				if !c.Host.SendToStep(p, sock, c.ServerAddr, c.ServerPort, msg, &send) {
+					return
+				}
+				if send.Err != nil {
+					p.ReqExit()
+					return
+				}
+				recv.Reset()
+				pc = ppcRecv
+			case ppcRecv:
+				if !c.Host.RecvFromStep(p, sock, &recv) {
+					return
+				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				i++
+				pc = ppcLoop
+				if i-1 < c.Warmup {
+					continue
+				}
+				if !recv.OK {
+					c.Lost++
+					continue
+				}
+				c.RTT.Add(p.Now() - start)
+			}
 		}
-		p.Delay(c.StartAfter)
-		msg := make([]byte, c.MsgSize)
-		total := c.Iterations + c.Warmup
-		for i := 0; c.Iterations == 0 || i < total; i++ {
-			p.Delay(c.Interval)
-			start := p.Now()
-			if err := c.Host.SendTo(p, sock, c.ServerAddr, c.ServerPort, msg); err != nil {
-				return
-			}
-			_, ok, err := c.Host.RecvFromTimeout(p, sock, c.ReplyTimeout)
-			if err != nil {
-				return
-			}
-			if i < c.Warmup {
-				continue
-			}
-			if !ok {
-				c.Lost++
-				continue
-			}
-			c.RTT.Add(p.Now() - start)
-		}
-		c.Done = true
 	})
 }

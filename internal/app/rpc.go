@@ -8,6 +8,7 @@ import (
 	"lrp/internal/metrics"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
+	"lrp/internal/socket"
 )
 
 // The Table 2 workload: "The RPC facility we used is based on UDP
@@ -29,6 +30,9 @@ type RPCServer struct {
 	// kernel.Proc.IntrPenalty).
 	DisturbPenalty int64
 	ReplySize      int
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Served metrics.Counter
 	Proc   *kernel.Proc
@@ -39,27 +43,57 @@ func (s *RPCServer) Start() {
 	if s.ReplySize == 0 {
 		s.ReplySize = 32
 	}
-	s.Proc = s.Host.K.Spawn("rpc-srv", 0, func(p *kernel.Proc) {
-		p.CachePenalty = s.CachePenalty
-		p.IntrPenalty = s.DisturbPenalty
-		sock := s.Host.NewUDPSocket(p)
-		if err := s.Host.BindUDP(sock, s.Port); err != nil {
-			panic(err)
-		}
-		reply := make([]byte, s.ReplySize)
+	var (
+		pc    int
+		sock  *socket.Socket
+		reply []byte
+		d     socket.Datagram
+		recv  core.RecvFromOp
+		send  core.SendToOp
+	)
+	s.Proc = spawnStep(s.Host.K, "rpc-srv", 0, s.Coroutine, func(p *kernel.Proc) {
 		for {
-			d, err := s.Host.RecvFrom(p, sock)
-			if err != nil {
-				return
+			switch pc {
+			case 0:
+				p.CachePenalty = s.CachePenalty
+				p.IntrPenalty = s.DisturbPenalty
+				sock = s.Host.NewUDPSocket(p)
+				if err := s.Host.BindUDP(sock, s.Port); err != nil {
+					panic(err)
+				}
+				reply = make([]byte, s.ReplySize)
+				pc = 1
+			case 1:
+				if !s.Host.RecvFromStep(p, sock, &recv) {
+					return
+				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				d = recv.D
+				recv.Reset()
+				pc = 2
+				if p.ReqCompute(s.PerCallCompute) {
+					return
+				}
+			case 2:
+				if len(d.Data) >= 8 {
+					copy(reply, d.Data[:8]) // echo the request id
+				}
+				send.Reset()
+				pc = 3
+			case 3:
+				if !s.Host.SendToStep(p, sock, d.Src, d.SPort, reply, &send) {
+					return
+				}
+				if send.Err != nil {
+					p.ReqExit()
+					return
+				}
+				s.Served.Inc()
+				pc = 1
 			}
-			p.Compute(s.PerCallCompute)
-			if len(d.Data) >= 8 {
-				copy(reply, d.Data[:8]) // echo the request id
-			}
-			if err := s.Host.SendTo(p, sock, d.Src, d.SPort, reply); err != nil {
-				return
-			}
-			s.Served.Inc()
 		}
 	})
 }
@@ -76,6 +110,9 @@ type WorkerServer struct {
 	// CachePenalty is the per-preemption cache-refill cost of the large
 	// working set.
 	CachePenalty int64
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	StartedAt  sim.Time
 	FinishedAt sim.Time
@@ -85,32 +122,62 @@ type WorkerServer struct {
 
 // Start spawns the worker process.
 func (w *WorkerServer) Start() {
-	w.Proc = w.Host.K.Spawn("worker", 0, func(p *kernel.Proc) {
-		p.CachePenalty = w.CachePenalty
-		sock := w.Host.NewUDPSocket(p)
-		if err := w.Host.BindUDP(sock, w.Port); err != nil {
-			panic(err)
-		}
-		d, err := w.Host.RecvFrom(p, sock)
-		if err != nil {
-			return
-		}
-		w.StartedAt = p.Now()
-		// Compute in slices so preemption effects (and their cache
-		// penalties) are visible at realistic granularity.
-		const slice = 5 * sim.Millisecond
-		remaining := w.ComputeTime
-		for remaining > 0 {
-			c := slice
-			if remaining < c {
-				c = remaining
+	var (
+		pc        int
+		sock      *socket.Socket
+		d         socket.Datagram
+		remaining int64
+		recv      core.RecvFromOp
+		send      core.SendToOp
+	)
+	w.Proc = spawnStep(w.Host.K, "worker", 0, w.Coroutine, func(p *kernel.Proc) {
+		for {
+			switch pc {
+			case 0:
+				p.CachePenalty = w.CachePenalty
+				sock = w.Host.NewUDPSocket(p)
+				if err := w.Host.BindUDP(sock, w.Port); err != nil {
+					panic(err)
+				}
+				pc = 1
+			case 1:
+				if !w.Host.RecvFromStep(p, sock, &recv) {
+					return
+				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				d = recv.D
+				w.StartedAt = p.Now()
+				remaining = w.ComputeTime
+				pc = 2
+			case 2:
+				if remaining <= 0 {
+					send.Reset()
+					pc = 3
+					continue
+				}
+				// Compute in slices so preemption effects (and their cache
+				// penalties) are visible at realistic granularity.
+				c := 5 * sim.Millisecond
+				if remaining < c {
+					c = remaining
+				}
+				remaining -= c
+				if p.ReqCompute(c) {
+					return
+				}
+			case 3:
+				if !w.Host.SendToStep(p, sock, d.Src, d.SPort, []byte("done"), &send) {
+					return
+				}
+				w.FinishedAt = p.Now()
+				w.Done = true
+				p.ReqExit()
+				return
 			}
-			p.Compute(c)
-			remaining -= c
 		}
-		_ = w.Host.SendTo(p, sock, d.Src, d.SPort, []byte("done"))
-		w.FinishedAt = p.Now()
-		w.Done = true
 	})
 }
 
@@ -146,6 +213,9 @@ type RPCClient struct {
 	// Outstanding caps requests in flight.
 	Outstanding int
 	Rng         *sim.Rand
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Completed metrics.Counter
 	RTT       metrics.Histogram
@@ -160,46 +230,79 @@ func (c *RPCClient) Start() {
 	if c.Rng == nil {
 		c.Rng = sim.NewRand(77)
 	}
-	c.Proc = c.Host.K.Spawn("rpc-cli", 0, func(p *kernel.Proc) {
-		sock := c.Host.NewUDPSocket(p)
-		if err := c.Host.BindUDP(sock, 0); err != nil {
-			panic(err)
-		}
-		inflight := 0
-		sendTimes := make(map[uint64]int64)
-		var id uint64
-		req := make([]byte, 64)
+	var (
+		pc        int
+		sock      *socket.Socket
+		inflight  int
+		sendTimes map[uint64]int64
+		id        uint64
+		req       []byte
+		recv      core.RecvFromOp
+		send      core.SendToOp
+	)
+	c.Proc = spawnStep(c.Host.K, "rpc-cli", 0, c.Coroutine, func(p *kernel.Proc) {
 		for {
-			for inflight < c.Outstanding {
-				id++
-				binary.BigEndian.PutUint64(req, id)
-				sendTimes[id] = p.Now()
-				if err := c.Host.SendTo(p, sock, c.ServerAddr, c.ServerPort, req); err != nil {
+			switch pc {
+			case 0:
+				sock = c.Host.NewUDPSocket(p)
+				if err := c.Host.BindUDP(sock, 0); err != nil {
+					panic(err)
+				}
+				sendTimes = make(map[uint64]int64)
+				req = make([]byte, 64)
+				recv = core.RecvFromOp{Timed: true, Timeout: sim.Second}
+				pc = 1
+			case 1:
+				if inflight < c.Outstanding {
+					id++
+					binary.BigEndian.PutUint64(req, id)
+					sendTimes[id] = p.Now()
+					send.Reset()
+					pc = 2
+					continue
+				}
+				recv.Reset()
+				pc = 3
+			case 2:
+				if !c.Host.SendToStep(p, sock, c.ServerAddr, c.ServerPort, req, &send) {
+					return
+				}
+				if send.Err != nil {
+					p.ReqExit()
 					return
 				}
 				inflight++
+				pc = 1
 				if c.Interval > 0 {
-					p.Delay(c.Rng.Jitter(c.Interval, 0.2))
+					if p.ReqDelay(c.Rng.Jitter(c.Interval, 0.2)) {
+						return
+					}
 				}
-			}
-			d, ok, err := c.Host.RecvFromTimeout(p, sock, sim.Second)
-			if err != nil {
-				return
-			}
-			if !ok {
-				// Lost request or reply (rare off-overload): refill.
-				inflight = 0
-				continue
-			}
-			inflight--
-			if len(d.Data) >= 8 {
-				rid := binary.BigEndian.Uint64(d.Data)
-				if t0, found := sendTimes[rid]; found {
-					c.RTT.Add(p.Now() - t0)
-					delete(sendTimes, rid)
+			case 3:
+				if !c.Host.RecvFromStep(p, sock, &recv) {
+					return
 				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				if !recv.OK {
+					// Lost request or reply (rare off-overload): refill.
+					inflight = 0
+					pc = 1
+					continue
+				}
+				inflight--
+				if len(recv.D.Data) >= 8 {
+					rid := binary.BigEndian.Uint64(recv.D.Data)
+					if t0, found := sendTimes[rid]; found {
+						c.RTT.Add(p.Now() - t0)
+						delete(sendTimes, rid)
+					}
+				}
+				c.Completed.Inc()
+				pc = 1
 			}
-			c.Completed.Inc()
 		}
 	})
 }

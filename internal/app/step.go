@@ -1,0 +1,15 @@
+package app
+
+import "lrp/internal/kernel"
+
+// spawnStep starts a workload process in the requested execution mode:
+// stackless (the default) or goroutine-hosted when the workload's
+// Coroutine flag selects the fallback. The body is the same StepFn either
+// way and issues the same request stream, so scheduling, accounting and
+// results are identical in both modes.
+func spawnStep(k *kernel.Kernel, name string, nice int, coro bool, step kernel.StepFn) *kernel.Proc {
+	if coro {
+		return k.SpawnStepCoro(name, nice, step)
+	}
+	return k.SpawnStep(name, nice, step)
+}

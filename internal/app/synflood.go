@@ -8,6 +8,7 @@ import (
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
+	"lrp/internal/socket"
 )
 
 // SYNFlood injects "fake TCP connection establishment requests (SYN
@@ -92,14 +93,34 @@ func (f *SYNFlood) schedule() {
 // the server machine" that listens on port but never accepts, so its
 // backlog fills after the first few SYNs.
 func StartDummyServer(h *core.Host, port uint16, backlog int) *kernel.Proc {
-	return h.K.Spawn("dummy-srv", 0, func(p *kernel.Proc) {
-		l := h.NewTCPSocket(p)
-		if err := h.BindTCP(l, port); err != nil {
-			panic(err)
+	var (
+		pc  int
+		l   *socket.Socket
+		lis core.ListenOp
+	)
+	return h.K.SpawnStep("dummy-srv", 0, func(p *kernel.Proc) {
+		for {
+			switch pc {
+			case 0:
+				l = h.NewTCPSocket(p)
+				if err := h.BindTCP(l, port); err != nil {
+					panic(err)
+				}
+				pc = 1
+			case 1:
+				if !h.ListenStep(p, l, backlog, &lis) {
+					return
+				}
+				if lis.Err != nil {
+					panic(lis.Err)
+				}
+				pc = 2
+				p.ReqSleep(&l.AcceptWait) // sleeps forever; never accepts
+				return
+			case 2:
+				p.ReqExit() // woken only at teardown
+				return
+			}
 		}
-		if err := h.Listen(p, l, backlog); err != nil {
-			panic(err)
-		}
-		p.Sleep(&l.AcceptWait) // sleeps forever; never accepts
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"lrp/internal/metrics"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
+	"lrp/internal/socket"
 )
 
 // UDPWindowReceiver acknowledges each datagram by sequence number; the
@@ -16,6 +17,9 @@ import (
 type UDPWindowReceiver struct {
 	Host *core.Host
 	Port uint16
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Bytes metrics.Counter
 	Pkts  metrics.Counter
@@ -24,25 +28,51 @@ type UDPWindowReceiver struct {
 
 // Start spawns the receiver.
 func (r *UDPWindowReceiver) Start() {
-	r.Proc = r.Host.K.Spawn("udpwin-rx", 0, func(p *kernel.Proc) {
-		sock := r.Host.NewUDPSocket(p)
-		sock.NoUDPChecksum = true // per the paper's methodology
-		if err := r.Host.BindUDP(sock, r.Port); err != nil {
-			panic(err)
-		}
-		ack := make([]byte, 4)
+	var (
+		pc   int
+		sock *socket.Socket
+		ack  []byte
+		d    socket.Datagram
+		recv core.RecvFromOp
+		send core.SendToOp
+	)
+	r.Proc = spawnStep(r.Host.K, "udpwin-rx", 0, r.Coroutine, func(p *kernel.Proc) {
 		for {
-			d, err := r.Host.RecvFrom(p, sock)
-			if err != nil {
-				return
-			}
-			r.Bytes.Addn(uint64(len(d.Data)))
-			r.Pkts.Inc()
-			if len(d.Data) >= 4 {
-				copy(ack, d.Data[:4])
-				if err := r.Host.SendTo(p, sock, d.Src, d.SPort, ack); err != nil {
+			switch pc {
+			case 0:
+				sock = r.Host.NewUDPSocket(p)
+				sock.NoUDPChecksum = true // per the paper's methodology
+				if err := r.Host.BindUDP(sock, r.Port); err != nil {
+					panic(err)
+				}
+				ack = make([]byte, 4)
+				pc = 1
+			case 1:
+				if !r.Host.RecvFromStep(p, sock, &recv) {
 					return
 				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				d = recv.D
+				recv.Reset()
+				r.Bytes.Addn(uint64(len(d.Data)))
+				r.Pkts.Inc()
+				if len(d.Data) >= 4 {
+					copy(ack, d.Data[:4])
+					send.Reset()
+					pc = 2
+				}
+			case 2:
+				if !r.Host.SendToStep(p, sock, d.Src, d.SPort, ack, &send) {
+					return
+				}
+				if send.Err != nil {
+					p.ReqExit()
+					return
+				}
+				pc = 1
 			}
 		}
 	})
@@ -59,6 +89,9 @@ type UDPWindowSender struct {
 	Size       int
 	Window     int
 	TotalBytes int64 // stop after this much (0: run forever)
+	// Coroutine hosts the process on a goroutine coroutine instead of
+	// stepping it stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Sent     metrics.Counter
 	Finished bool
@@ -73,44 +106,68 @@ func (s *UDPWindowSender) Start() {
 	if s.Window == 0 {
 		s.Window = 8
 	}
-	s.Proc = s.Host.K.Spawn("udpwin-tx", 0, func(p *kernel.Proc) {
-		sock := s.Host.NewUDPSocket(p)
-		sock.NoUDPChecksum = true // per the paper's methodology
-		if err := s.Host.BindUDP(sock, 0); err != nil {
-			panic(err)
-		}
-		payload := make([]byte, s.Size)
-		var seq, ackd uint32
-		var sentBytes int64
-		send := func() {
-			binary.BigEndian.PutUint32(payload, seq)
-			seq++
-			sentBytes += int64(len(payload))
-			s.Sent.Inc()
-			_ = s.Host.SendTo(p, sock, s.PeerAddr, s.PeerPort, payload)
-		}
+	var (
+		pc        int
+		sock      *socket.Socket
+		payload   []byte
+		seq, ackd uint32
+		sentBytes int64
+		recv      core.RecvFromOp
+		send      core.SendToOp
+	)
+	s.Proc = spawnStep(s.Host.K, "udpwin-tx", 0, s.Coroutine, func(p *kernel.Proc) {
 		for {
-			for int(seq-ackd) < s.Window && (s.TotalBytes == 0 || sentBytes < s.TotalBytes) {
-				send()
-			}
-			if s.TotalBytes > 0 && sentBytes >= s.TotalBytes && ackd == seq {
-				s.Finished = true
-				return
-			}
-			d, ok, err := s.Host.RecvFromTimeout(p, sock, 200*sim.Millisecond)
-			if err != nil {
-				return
-			}
-			if !ok {
-				// Timeout: go back to the last acknowledged datagram.
-				seq = ackd
-				sentBytes = int64(ackd) * int64(s.Size)
-				continue
-			}
-			if len(d.Data) >= 4 {
-				a := binary.BigEndian.Uint32(d.Data) + 1
-				if a > ackd {
-					ackd = a
+			switch pc {
+			case 0:
+				sock = s.Host.NewUDPSocket(p)
+				sock.NoUDPChecksum = true // per the paper's methodology
+				if err := s.Host.BindUDP(sock, 0); err != nil {
+					panic(err)
+				}
+				payload = make([]byte, s.Size)
+				recv = core.RecvFromOp{Timed: true, Timeout: 200 * sim.Millisecond}
+				pc = 1
+			case 1:
+				if int(seq-ackd) < s.Window && (s.TotalBytes == 0 || sentBytes < s.TotalBytes) {
+					binary.BigEndian.PutUint32(payload, seq)
+					seq++
+					sentBytes += int64(len(payload))
+					s.Sent.Inc()
+					send.Reset()
+					pc = 2
+				} else if s.TotalBytes > 0 && sentBytes >= s.TotalBytes && ackd == seq {
+					s.Finished = true
+					p.ReqExit()
+					return
+				} else {
+					recv.Reset()
+					pc = 3
+				}
+			case 2:
+				if !s.Host.SendToStep(p, sock, s.PeerAddr, s.PeerPort, payload, &send) {
+					return
+				}
+				pc = 1 // send errors are ignored, as in the blocking sender
+			case 3:
+				if !s.Host.RecvFromStep(p, sock, &recv) {
+					return
+				}
+				if recv.Err != nil {
+					p.ReqExit()
+					return
+				}
+				pc = 1
+				if !recv.OK {
+					// Timeout: go back to the last acknowledged datagram.
+					seq = ackd
+					sentBytes = int64(ackd) * int64(s.Size)
+					continue
+				}
+				if len(recv.D.Data) >= 4 {
+					a := binary.BigEndian.Uint32(recv.D.Data) + 1
+					if a > ackd {
+						ackd = a
+					}
 				}
 			}
 		}
@@ -126,6 +183,9 @@ type TCPTransfer struct {
 	ServerAddr pkt.Addr
 	Port       uint16
 	TotalBytes int
+	// Coroutine hosts both processes on goroutine coroutines instead of
+	// stepping them stacklessly (the fallback execution mode).
+	Coroutine bool
 
 	Received int
 	Started  sim.Time
@@ -135,48 +195,111 @@ type TCPTransfer struct {
 
 // Start spawns both sides.
 func (x *TCPTransfer) Start() {
-	x.Server.K.Spawn("tcpxfer-rx", 0, func(p *kernel.Proc) {
-		l := x.Server.NewTCPSocket(p)
-		if err := x.Server.BindTCP(l, x.Port); err != nil {
-			panic(err)
-		}
-		if err := x.Server.Listen(p, l, 5); err != nil {
-			panic(err)
-		}
-		cs, err := x.Server.Accept(p, l)
-		if err != nil {
-			return
-		}
+	var (
+		rpc int
+		l   *socket.Socket
+		cs  *socket.Socket
+		lis core.ListenOp
+		acc core.AcceptOp
+		rs  core.RecvStreamOp
+	)
+	spawnStep(x.Server.K, "tcpxfer-rx", 0, x.Coroutine, func(p *kernel.Proc) {
 		for {
-			data, err := x.Server.RecvStream(p, cs, 64*1024)
-			if err != nil || data == nil {
-				break
+			switch rpc {
+			case 0:
+				l = x.Server.NewTCPSocket(p)
+				if err := x.Server.BindTCP(l, x.Port); err != nil {
+					panic(err)
+				}
+				rpc = 1
+			case 1:
+				if !x.Server.ListenStep(p, l, 5, &lis) {
+					return
+				}
+				if lis.Err != nil {
+					panic(lis.Err)
+				}
+				rpc = 2
+			case 2:
+				if !x.Server.AcceptStep(p, l, &acc) {
+					return
+				}
+				if acc.Err != nil {
+					p.ReqExit()
+					return
+				}
+				cs = acc.NS
+				rpc = 3
+			case 3:
+				if !x.Server.RecvStreamStep(p, cs, 64*1024, &rs) {
+					return
+				}
+				if rs.Err != nil || rs.Data == nil {
+					x.Ended = p.Now()
+					x.Done = true
+					p.ReqExit()
+					return
+				}
+				x.Received += len(rs.Data)
+				rs = core.RecvStreamOp{}
 			}
-			x.Received += len(data)
 		}
-		x.Ended = p.Now()
-		x.Done = true
 	})
-	x.Client.K.Spawn("tcpxfer-tx", 0, func(p *kernel.Proc) {
-		s := x.Client.NewTCPSocket(p)
-		if err := x.Client.ConnectTCP(p, s, x.ServerAddr, x.Port); err != nil {
-			return
-		}
-		x.Started = p.Now()
-		chunk := make([]byte, 32*1024)
-		sent := 0
-		for sent < x.TotalBytes {
-			n := len(chunk)
-			if x.TotalBytes-sent < n {
-				n = x.TotalBytes - sent
-			}
-			w, err := x.Client.SendStream(p, s, chunk[:n])
-			if err != nil {
+	var (
+		tpc   int
+		sck   *socket.Socket
+		chunk []byte
+		sent  int
+		conn  core.ConnectTCPOp
+		ss    core.SendStreamOp
+		cls   core.CloseTCPOp
+	)
+	spawnStep(x.Client.K, "tcpxfer-tx", 0, x.Coroutine, func(p *kernel.Proc) {
+		for {
+			switch tpc {
+			case 0:
+				sck = x.Client.NewTCPSocket(p)
+				tpc = 1
+			case 1:
+				if !x.Client.ConnectTCPStep(p, sck, x.ServerAddr, x.Port, &conn) {
+					return
+				}
+				if conn.Err != nil {
+					p.ReqExit()
+					return
+				}
+				x.Started = p.Now()
+				chunk = make([]byte, 32*1024)
+				tpc = 2
+			case 2:
+				if sent >= x.TotalBytes {
+					tpc = 4
+					continue
+				}
+				n := len(chunk)
+				if x.TotalBytes-sent < n {
+					n = x.TotalBytes - sent
+				}
+				ss = core.SendStreamOp{Data: chunk[:n]}
+				tpc = 3
+			case 3:
+				if !x.Client.SendStreamStep(p, sck, &ss) {
+					return
+				}
+				if ss.Err != nil {
+					p.ReqExit()
+					return
+				}
+				sent += ss.Total
+				tpc = 2
+			case 4:
+				if !x.Client.CloseTCPStep(p, sck, &cls) {
+					return
+				}
+				p.ReqExit()
 				return
 			}
-			sent += w
 		}
-		x.Client.CloseTCP(p, s)
 	})
 }
 

@@ -19,49 +19,10 @@ import (
 // only spends otherwise-idle cycles.
 const idlePollInterval = 250
 
-// idleMain is the minimum-priority kernel thread that "checks NI channels
-// and performs protocol processing for any queued UDP packets" so that an
-// otherwise idle CPU never leaves a packet waiting for the next receive
-// system call.
-func (h *Host) idleMain(p *kernel.Proc) {
-	for {
-		did := false
-		for _, s := range h.sockets {
-			if s.Type != socket.Dgram || s.Closed || s.NIChan == nil || s.Proto != pkt.ProtoUDP {
-				continue
-			}
-			// Leave the packet if a receiver is about to pick it up lazily:
-			// a blocked receiver means nobody is in a receive call, so
-			// process on its behalf.
-			m := s.NIChan.Queue.Dequeue()
-			if m == nil {
-				continue
-			}
-			did = true
-			owner := appOwner(s)
-			d, ok := h.udpLazyInput(p, owner, s, m)
-			if !ok {
-				continue
-			}
-			if g := h.groupOf(s); g != nil {
-				// Shared multicast channel: fan out to every member.
-				h.mcastFanout(p, g, d)
-				continue
-			}
-			p.ComputeSysFor(owner, h.CM.SockQueueCost)
-			if s.RecvDgrams.Enqueue(d) {
-				s.RcvWait.WakeupAll()
-			}
-		}
-		if !did {
-			p.Delay(idlePollInterval)
-		}
-	}
-}
-
 // startICMPDaemon creates the ICMP proxy: a pseudo-socket bound to the
 // ICMP protocol with its own NI channel, drained by a daemon process that
-// is charged for the processing (and whose priority controls it).
+// is charged for the processing (and whose priority controls it). The
+// daemon body lives in daemonsteps.go (icmpdStep).
 func (h *Host) startICMPDaemon() {
 	s := socket.NewSocket(socket.Dgram, nil)
 	s.Proto = pkt.ProtoICMP
@@ -71,27 +32,7 @@ func (h *Host) startICMPDaemon() {
 	h.icmpSock = s
 	h.attachChannel(s)
 	h.pcbs.BindProto(pkt.ProtoICMP, s)
-	proc := h.K.Spawn(h.Name+"/icmpd", 0, func(p *kernel.Proc) {
-		s.Owner = p
-		for {
-			m := s.NIChan.Queue.Dequeue()
-			if m == nil {
-				s.NIChan.IntrRequested = true
-				p.Sleep(&s.RcvWait)
-				continue
-			}
-			p.ComputeSys(h.channelDequeueCost() + h.lrpProtoInCost(m.Data))
-			b := m.Data
-			m.BeginTransfer() // echo replies are built in fresh buffers
-			whole, done := h.reasm.Input(b, h.Eng.Now())
-			if done {
-				if ih, hlen, err := pkt.DecodeIPv4(whole); err == nil {
-					h.icmpProcess(&ih, whole[hlen:int(ih.TotalLen)])
-				}
-			}
-			m.EndTransfer()
-		}
-	})
+	proc := h.spawnDaemon(h.K, h.Name+"/icmpd", 0, h.icmpdStep(s))
 	proc.Pinned = true // kernel daemon: never migrated off CPU 0
 	s.Owner = proc
 }

@@ -45,21 +45,7 @@ func (h *Host) EnableForwarding(nice int) {
 	h.sockets = append(h.sockets, s)
 	h.fwdSock = s
 	h.attachChannel(s)
-	proc := h.K.Spawn(h.Name+"/ipfwd", nice, func(p *kernel.Proc) {
-		for {
-			m := s.NIChan.Queue.Dequeue()
-			if m == nil {
-				s.NIChan.IntrRequested = true
-				p.Sleep(&s.RcvWait)
-				continue
-			}
-			p.ComputeSys(h.channelDequeueCost() + h.CM.IPInCost + h.CM.IPOutCost)
-			b := m.Data
-			m.BeginTransfer() // forwardPacket rebuilds into its own buffer
-			h.forwardPacket(b)
-			m.EndTransfer()
-		}
-	})
+	proc := h.spawnDaemon(h.K, h.Name+"/ipfwd", nice, h.ipfwdStep(s))
 	proc.Pinned = true // kernel daemon: never migrated off CPU 0
 	s.Owner = proc
 }

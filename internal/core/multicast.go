@@ -105,22 +105,13 @@ func (h *Host) groupOf(s *socket.Socket) *mcastGroup {
 	return h.mcastBySock[s]
 }
 
-// mcastFanout delivers one processed datagram to every member socket.
-// Each enqueue costs SockQueueCost in the current context (p may be nil
-// for softint callers whose cost was pre-charged).
+// mcastFanout delivers one processed datagram to every member socket (see
+// mcastFanoutStep). p may be nil for softint callers whose cost was
+// pre-charged — the machine then never yields, so Block is never reached.
 func (h *Host) mcastFanout(p *kernel.Proc, g *mcastGroup, d socket.Datagram) {
-	for _, m := range g.members {
-		if m.Closed || m.RecvDgrams == nil {
-			continue
-		}
-		if p != nil {
-			p.ComputeSys(h.CM.SockQueueCost)
-		}
-		if m.RecvDgrams.Enqueue(d) {
-			m.Stats.RxDelivered++
-			m.Stats.RxBytes += uint64(len(d.Data))
-			m.RcvWait.WakeupAll()
-		}
+	fr := mcastFanoutOp{members: g.members}
+	for !h.mcastFanoutStep(p, d, &fr) {
+		p.Block()
 	}
 }
 
@@ -140,33 +131,6 @@ func (g *mcastGroup) bestOwner() *kernel.Proc {
 		}
 	}
 	return best
-}
-
-// mcastRecvFrom is the receive path for group member sockets: drain the
-// member queue, else lazily process the shared channel and fan out.
-func (h *Host) mcastRecvFrom(p *kernel.Proc, s *socket.Socket, g *mcastGroup) (socket.Datagram, error) {
-	for {
-		if s.Closed {
-			return socket.Datagram{}, ErrClosed
-		}
-		if d, ok := s.RecvDgrams.Dequeue(); ok {
-			p.ComputeSys(h.CM.SockQueueCost + h.CM.CopyCost(len(d.Data)))
-			return d, nil
-		}
-		if ch := g.gsock.NIChan; ch != nil {
-			if m := ch.Queue.Dequeue(); m != nil {
-				d, ok := h.udpLazyInput(p, p, g.gsock, m)
-				if !ok {
-					continue
-				}
-				h.mcastFanout(p, g, d)
-				continue // our own queue now holds the datagram
-			}
-			g.gsock.Owner = g.bestOwner()
-			ch.IntrRequested = true
-		}
-		p.Sleep(&s.RcvWait)
-	}
 }
 
 // mcastSignal wakes the best-priority member with a sleeping receiver.

@@ -6,7 +6,6 @@ package core
 // block on protocol events.
 
 import (
-	"lrp/internal/demux"
 	"lrp/internal/kernel"
 	"lrp/internal/pkt"
 	"lrp/internal/socket"
@@ -37,163 +36,63 @@ func (h *Host) BindTCP(s *socket.Socket, port uint16) error {
 }
 
 // Listen puts s into the listening state with the given backlog, binding
-// the wildcard demux entry and (LRP) the listen channel.
+// the wildcard demux entry and (LRP) the listen channel. p may be nil —
+// the machine then never yields (see ListenStep).
 func (h *Host) Listen(p *kernel.Proc, s *socket.Socket, backlog int) error {
-	if !s.Bound {
-		if err := h.BindTCP(s, 0); err != nil {
-			return err
-		}
+	var fr ListenOp
+	for !h.ListenStep(p, s, backlog, &fr) {
+		p.Block()
 	}
-	if p != nil {
-		p.ComputeSys(h.CM.SyscallFixed)
-	}
-	c := tcp.NewConn(&h.hooks, h.Addr, s.LPort, pkt.Addr{}, 0, h.nextISS())
-	c.UserData = s
-	c.ListenOn(backlog)
-	s.Conn = c
-	s.Listening = true
-	s.Backlog = backlog
-	h.pcbs.BindListen(pkt.ProtoTCP, pkt.Addr{}, s.LPort, s)
-	h.registerFilter(s, demux.CompileTCPPortFilter(s.LPort))
-	h.attachChannel(s)
-	return nil
+	return fr.Err
 }
 
 // Accept blocks until an established connection is available on listener
 // l and returns its socket.
 func (h *Host) Accept(p *kernel.Proc, l *socket.Socket) (*socket.Socket, error) {
-	if !l.Listening {
-		return nil, ErrNotListening
+	var fr AcceptOp
+	for !h.AcceptStep(p, l, &fr) {
+		p.Block()
 	}
-	p.ComputeSys(h.CM.SyscallFixed)
-	lc := l.Conn.(*tcp.Conn)
-	for {
-		if l.Closed {
-			return nil, ErrClosed
-		}
-		if nc, ok := lc.Accept(); ok {
-			h.syncListenChannel(l)
-			ns := connSocket(nc)
-			ns.Connected = true
-			return ns, nil
-		}
-		p.Sleep(&l.AcceptWait)
-	}
+	return fr.NS, fr.Err
 }
 
 // ConnectTCP performs an active open and blocks until the connection is
 // established or fails.
 func (h *Host) ConnectTCP(p *kernel.Proc, s *socket.Socket, raddr pkt.Addr, rport uint16) error {
-	if !s.Bound {
-		if err := h.BindTCP(s, 0); err != nil {
-			return err
-		}
+	var fr ConnectTCPOp
+	for !h.ConnectTCPStep(p, s, raddr, rport, &fr) {
+		p.Block()
 	}
-	p.ComputeSys(h.CM.SyscallFixed + h.CM.TCPOutCost + h.CM.IPOutCost)
-	s.Remote = raddr
-	s.RPort = rport
-	c := tcp.NewConn(&h.hooks, h.Addr, s.LPort, raddr, rport, h.nextISS())
-	c.UserData = s
-	s.Conn = c
-	h.pcbs.BindConnected(pkt.ProtoTCP, h.Addr, s.LPort, raddr, rport, s)
-	h.attachChannel(s)
-	c.Connect()
-	for {
-		switch c.State {
-		case tcp.Established:
-			s.Connected = true
-			return nil
-		case tcp.Closed:
-			return ErrConnRefused
-		}
-		p.Sleep(&s.SndWait)
-	}
+	return fr.Err
 }
 
 // SendStream writes data on a connected stream socket, blocking until all
 // of it is accepted by the send buffer.
 func (h *Host) SendStream(p *kernel.Proc, s *socket.Socket, data []byte) (int, error) {
-	c, ok := s.Conn.(*tcp.Conn)
-	if !ok {
-		return 0, ErrNotBound
+	fr := SendStreamOp{Data: data}
+	for !h.SendStreamStep(p, s, &fr) {
+		p.Block()
 	}
-	p.ComputeSys(h.CM.SyscallFixed)
-	total := 0
-	for len(data) > 0 {
-		if s.Closed {
-			return total, ErrClosed
-		}
-		switch c.State {
-		case tcp.Closed:
-			return total, ErrConnReset
-		case tcp.Established, tcp.CloseWait:
-		default:
-			return total, ErrClosed
-		}
-		n := c.Write(data)
-		if n > 0 {
-			segs := int64(n/c.MSS) + 1
-			p.ComputeSys(h.CM.CopyCost(n) + h.CM.ChecksumCost(n) + segs*(h.CM.TCPOutCost+h.CM.IPOutCost))
-			total += n
-			data = data[n:]
-			continue
-		}
-		p.Sleep(&s.SndWait)
-	}
-	return total, nil
+	return fr.Total, fr.Err
 }
 
 // RecvStream reads up to max bytes, blocking until data, EOF, or error.
 // It returns n==0 with nil error at end of stream.
 func (h *Host) RecvStream(p *kernel.Proc, s *socket.Socket, max int) ([]byte, error) {
-	c, ok := s.Conn.(*tcp.Conn)
-	if !ok {
-		return nil, ErrNotBound
+	var fr RecvStreamOp
+	for !h.RecvStreamStep(p, s, max, &fr) {
+		p.Block()
 	}
-	p.ComputeSys(h.CM.SyscallFixed)
-	for {
-		if s.Closed {
-			return nil, ErrClosed
-		}
-		n, fin := c.Readable()
-		if n > 0 {
-			data := c.Read(max)
-			p.ComputeSys(h.CM.CopyCost(len(data)))
-			return data, nil
-		}
-		if fin {
-			return nil, nil // EOF
-		}
-		if c.State == tcp.Closed {
-			return nil, ErrConnReset
-		}
-		p.Sleep(&s.RcvWait)
-	}
+	return fr.Data, fr.Err
 }
 
 // CloseTCP closes a stream socket: orderly close for connections, released
-// state for listeners.
+// state for listeners. p may be nil — the machine then never yields.
 func (h *Host) CloseTCP(p *kernel.Proc, s *socket.Socket) {
-	if s.Closed {
-		return
+	var fr CloseTCPOp
+	for !h.CloseTCPStep(p, s, &fr) {
+		p.Block()
 	}
-	if p != nil {
-		p.ComputeSys(h.CM.SyscallFixed)
-	}
-	if c, ok := s.Conn.(*tcp.Conn); ok {
-		if s.Listening {
-			s.Closed = true
-			c.Close() // triggers Dealloc, which unbinds
-		} else {
-			c.Close()
-			// The socket stays usable for draining received data until the
-			// protocol finishes; mark it closed for new operations only
-			// when fully dead.
-		}
-	} else {
-		s.Closed = true
-	}
-	s.AcceptWait.WakeupAll()
 }
 
 // AbortTCP resets the connection immediately.

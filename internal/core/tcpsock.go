@@ -10,7 +10,6 @@ package core
 
 import (
 	"lrp/internal/kernel"
-	"lrp/internal/mbuf"
 	"lrp/internal/pkt"
 	"lrp/internal/sim"
 	"lrp/internal/socket"
@@ -201,127 +200,10 @@ func (h *Host) queueChannelWork(s *socket.Socket) {
 	h.appWq.WakeupAll()
 }
 
-// appMain is the APP kernel thread: it processes queued TCP packets and
-// timer expiries at the priority of — and charged to — the application
-// that owns the socket.
-func (h *Host) appMain(p *kernel.Proc) {
-	for {
-		if len(h.appQ) == 0 {
-			p.PrioProxy = nil
-			p.Sleep(&h.appWq)
-			continue
-		}
-		w := h.appQ[0]
-		h.appQ = h.appQ[1:]
-		switch {
-		case w.conn != nil:
-			owner := appOwner(connSocket(w.conn))
-			p.PrioProxy = owner
-			p.ComputeSysFor(owner, h.CM.TCPTimerCost)
-			if h.timerValid(w.conn, w.timer, w.gen) {
-				w.conn.TimerExpire(w.timer)
-			}
-		case w.sock != nil:
-			h.appDrainChannel(p, w.sock)
-		}
-	}
-}
-
-// appDrainChannel processes the packets queued on a socket's NI channel.
-// The batch is bounded to the queue depth at entry: a channel being
-// refilled as fast as it drains (e.g. a SYN flood) must not capture the
-// APP thread forever and starve other sockets' protocol processing, so
-// remaining work is re-queued behind them instead. Listener backlog state
-// is synchronized after every packet, so a filling backlog disables the
-// channel immediately rather than after the flood abates.
-func (h *Host) appDrainChannel(p *kernel.Proc, s *socket.Socket) {
-	ch := s.NIChan
-	if ch == nil {
-		return
-	}
-	owner := appOwner(s)
-	p.PrioProxy = owner
-	batch := ch.Queue.Len()
-	for i := 0; i < batch; i++ {
-		m := ch.Queue.Dequeue()
-		if m == nil {
-			break
-		}
-		p.ComputeSysFor(owner, h.channelDequeueCost()+h.lrpProtoInCost(m.Data))
-		h.appProtoInput(p, m, s)
-		if s.Listening {
-			h.syncListenChannel(s)
-			if ch.ProcessingDisabled {
-				// Over-backlog: the remaining queued SYNs are discarded
-				// like the ones now dying at the channel.
-				for {
-					r := ch.Queue.Dequeue()
-					if r == nil {
-						break
-					}
-					ch.DisabledDrops++
-					r.Free()
-				}
-				break
-			}
-		}
-	}
-	h.syncListenChannel(s)
-	if ch.Queue.Len() > 0 && !ch.ProcessingDisabled {
-		h.queueChannelWork(s)
-		return
-	}
-	if s.Type == socket.Stream {
-		ch.IntrRequested = true
-	}
-}
-
 // appOwner resolves the process to charge for a socket's processing.
 func appOwner(s *socket.Socket) *kernel.Proc {
 	if s == nil {
 		return nil
 	}
 	return s.Owner
-}
-
-// appProtoInput is protoInput for APP context, with fragment-channel
-// support (the cost has been charged already).
-func (h *Host) appProtoInput(p *kernel.Proc, m *mbuf.Mbuf, hint *socket.Socket) {
-	b := m.Data
-	arrival := m.Arrival
-	m.BeginTransfer() // release the slot before input, keep storage until done
-	whole, done := h.reasm.Input(b, h.Eng.Now())
-	if !done {
-		whole, done = h.drainFragChannelFor(p, appOwner(hint), b)
-		if !done {
-			m.EndTransfer()
-			return
-		}
-	}
-	ih, hlen, err := pkt.DecodeIPv4(whole)
-	if err != nil {
-		h.stats.MalformedDrops++
-		m.EndTransfer()
-		return
-	}
-	seg := whole[hlen:int(ih.TotalLen)]
-	switch ih.Proto {
-	case pkt.ProtoTCP:
-		// The hint socket is the channel owner, except for the shared
-		// TIME_WAIT channel where a PCB lookup is needed.
-		if hint != nil && hint.NIChan == h.twChan {
-			p.ComputeSysFor(appOwner(hint), h.CM.PCBLookupCost)
-			hint = nil
-		}
-		h.tcpInput(&ih, seg, hint) // TCP copies what it retains
-	case pkt.ProtoUDP:
-		// Delivered datagrams alias the packet bytes; surrender our storage.
-		if aliases(whole, b) {
-			m.Detach()
-		}
-		h.udpInput(&ih, seg, arrival, hint)
-	default:
-		h.stats.NoMatchDrops++
-	}
-	m.EndTransfer()
 }

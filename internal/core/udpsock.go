@@ -73,26 +73,14 @@ func (h *Host) ConnectUDP(s *socket.Socket, raddr pkt.Addr, rport uint16) error 
 	return nil
 }
 
-// SendTo transmits a datagram. All architectures perform transmit-side
-// processing in the sender's context, as BSD does.
+// SendTo transmits a datagram, blocking the calling process for the
+// transmit-side processing charges (see SendToStep).
 func (h *Host) SendTo(p *kernel.Proc, s *socket.Socket, dst pkt.Addr, dport uint16, data []byte) error {
-	if s.Closed {
-		return ErrClosed
+	var fr SendToOp
+	for !h.SendToStep(p, s, dst, dport, data, &fr) {
+		p.Block()
 	}
-	if !s.Bound {
-		if err := h.BindUDP(s, 0); err != nil {
-			return err
-		}
-	}
-	cost := h.CM.SyscallFixed + h.CM.CopyCost(len(data)) + h.CM.UDPOutCost + h.CM.IPOutCost
-	if !s.NoUDPChecksum {
-		cost += h.CM.ChecksumCost(len(data))
-	}
-	p.ComputeSys(cost)
-	// Build into the host's scratch buffer; ipOutput copies each fragment
-	// into pool-owned storage, so the scratch is free for the next send.
-	h.txScratch = pkt.AppendUDP(h.txScratch[:0], h.Addr, dst, s.LPort, dport, h.nextIPID(), 64, data, !s.NoUDPChecksum)
-	return h.ipOutput(p, s, h.txScratch)
+	return fr.Err
 }
 
 // Send transmits on a connected datagram socket.
@@ -116,9 +104,14 @@ func (h *Host) ipOutput(p *kernel.Proc, s *socket.Socket, b []byte) error {
 			p.ComputeSys(int64(len(frags)-1) * h.CM.IPOutCost)
 		}
 	}
+	return h.sendFrags(s, frags)
+}
+
+// sendFrags copies each fragment into pool-owned storage and queues it on
+// the interface: senders build packets in scratch buffers they reuse, so
+// the mbufs must not alias them.
+func (h *Host) sendFrags(s *socket.Socket, frags [][]byte) error {
 	for _, f := range frags {
-		// Copy into pool-owned storage: senders build b in scratch buffers
-		// they reuse for the next packet, so the mbuf must not alias it.
 		m := h.Pool.AllocCopy(f)
 		if m == nil {
 			if s != nil {
@@ -135,72 +128,24 @@ func (h *Host) ipOutput(p *kernel.Proc, s *socket.Socket, b []byte) error {
 	return nil
 }
 
-// RecvFrom blocks until a datagram is available and returns it. Under LRP,
-// protocol processing for queued raw packets happens here — "in the
-// context of the user process performing the system call".
+// RecvFrom blocks until a datagram is available and returns it (see
+// RecvFromStep for the lazy-processing receive path).
 func (h *Host) RecvFrom(p *kernel.Proc, s *socket.Socket) (socket.Datagram, error) {
-	p.ComputeSys(h.CM.SyscallFixed)
-	if g := h.mcastMember[s]; g != nil {
-		return h.mcastRecvFrom(p, s, g)
+	var fr RecvFromOp
+	for !h.RecvFromStep(p, s, &fr) {
+		p.Block()
 	}
-	for {
-		if s.Closed {
-			return socket.Datagram{}, ErrClosed
-		}
-		// Already-processed datagrams first (softint under BSD/Early-Demux;
-		// the idle thread under LRP).
-		if d, ok := s.RecvDgrams.Dequeue(); ok {
-			p.ComputeSys(h.CM.SockQueueCost + h.CM.CopyCost(len(d.Data)))
-			return d, nil
-		}
-		// LRP lazy path: raw packets on the NI channel.
-		if s.NIChan != nil {
-			if m := s.NIChan.Queue.Dequeue(); m != nil {
-				d, ok := h.udpLazyInput(p, p, s, m)
-				if !ok {
-					continue // bad packet; keep trying
-				}
-				p.ComputeSys(h.CM.CopyCost(len(d.Data)))
-				return d, nil
-			}
-			s.NIChan.IntrRequested = true
-		}
-		p.Sleep(&s.RcvWait)
-	}
+	return fr.D, fr.Err
 }
 
 // RecvFromTimeout is RecvFrom with a deadline: it returns ok=false if no
 // datagram arrives within timeout µs.
 func (h *Host) RecvFromTimeout(p *kernel.Proc, s *socket.Socket, timeout int64) (socket.Datagram, bool, error) {
-	deadline := h.Eng.Now() + timeout
-	p.ComputeSys(h.CM.SyscallFixed)
-	for {
-		if s.Closed {
-			return socket.Datagram{}, false, ErrClosed
-		}
-		if d, ok := s.RecvDgrams.Dequeue(); ok {
-			p.ComputeSys(h.CM.SockQueueCost + h.CM.CopyCost(len(d.Data)))
-			return d, true, nil
-		}
-		if s.NIChan != nil {
-			if m := s.NIChan.Queue.Dequeue(); m != nil {
-				d, ok := h.udpLazyInput(p, p, s, m)
-				if !ok {
-					continue
-				}
-				p.ComputeSys(h.CM.CopyCost(len(d.Data)))
-				return d, true, nil
-			}
-			s.NIChan.IntrRequested = true
-		}
-		remain := deadline - h.Eng.Now()
-		if remain <= 0 {
-			return socket.Datagram{}, false, nil
-		}
-		if p.SleepTimeout(&s.RcvWait, remain) {
-			return socket.Datagram{}, false, nil
-		}
+	fr := RecvFromOp{Timed: true, Timeout: timeout}
+	for !h.RecvFromStep(p, s, &fr) {
+		p.Block()
 	}
+	return fr.D, fr.OK, fr.Err
 }
 
 // TryRecvFrom is the non-blocking variant; ok reports whether a datagram
@@ -228,79 +173,23 @@ func (h *Host) TryRecvFrom(p *kernel.Proc, s *socket.Socket) (socket.Datagram, b
 // processes on its behalf). It consults the fragment channel when
 // reassembly is missing pieces.
 func (h *Host) udpLazyInput(p, owner *kernel.Proc, s *socket.Socket, m *mbuf.Mbuf) (socket.Datagram, bool) {
-	p.ComputeSysFor(owner, h.channelDequeueCost()+h.lrpProtoInCost(m.Data))
-	b := m.Data
-	arrival := m.Arrival
-	// Release the pool slot before protocol processing (matching the old
-	// free-then-read accounting) but keep the storage until the raw bytes
-	// are no longer needed — or detach it if they escape into the datagram.
-	m.BeginTransfer()
-	whole, done := h.reasm.Input(b, h.Eng.Now())
-	if !done {
-		whole, done = h.drainFragChannelFor(p, owner, b)
-		if !done {
-			m.EndTransfer()
-			return socket.Datagram{}, false
-		}
+	var fr lazyInputOp
+	for !h.udpLazyInputStep(p, owner, s, m, &fr) {
+		p.Block()
 	}
-	ih, hlen, err := pkt.DecodeIPv4(whole)
-	if err != nil || ih.Proto != pkt.ProtoUDP {
-		s.Stats.ProtoDrops++
-		m.EndTransfer()
-		return socket.Datagram{}, false
-	}
-	seg := whole[hlen:int(ih.TotalLen)]
-	uh, err := pkt.DecodeUDP(seg, ih.Src, ih.Dst)
-	if err != nil {
-		s.Stats.ProtoDrops++
-		m.EndTransfer()
-		return socket.Datagram{}, false
-	}
-	s.Stats.RxDelivered++
-	s.Stats.RxBytes += uint64(int(uh.Length) - pkt.UDPHeaderLen)
-	if aliases(whole, b) {
-		m.Detach()
-	}
-	m.EndTransfer()
-	return socket.Datagram{
-		Data:    seg[pkt.UDPHeaderLen:int(uh.Length)],
-		Src:     ih.Src,
-		SPort:   uh.SrcPort,
-		Arrival: arrival,
-	}, true
+	return fr.d, fr.ok
 }
 
 // drainFragChannelFor feeds packets from the special fragment channel to
-// the reassembler ("The IP reassembly function checks this channel queue
-// when it misses fragments during reassembly"). Returns a completed
-// datagram if one emerges. p may be nil (engine-context callers that
-// pre-charged).
+// the reassembler. Returns a completed datagram if one emerges. p may be
+// nil (engine-context callers that pre-charged) — with a nil p the machine
+// never yields, so Block is never reached.
 func (h *Host) drainFragChannelFor(p, owner *kernel.Proc, trigger []byte) ([]byte, bool) {
-	if h.fragChan == nil {
-		return nil, false
+	var fr fragDrainOp
+	for !h.fragDrainStep(p, owner, trigger, &fr) {
+		p.Block()
 	}
-	ih, _, err := pkt.DecodeIPv4(trigger)
-	if err != nil || !h.reasm.MissingFor(ih.Src, ih.Dst, ih.ID, ih.Proto) {
-		return nil, false
-	}
-	for {
-		fm := h.fragChan.Queue.Dequeue()
-		if fm == nil {
-			return nil, false
-		}
-		if p != nil {
-			p.ComputeSysFor(owner, h.CM.IPInCost)
-		}
-		// Fragments are copied by the reassembler; the assembled datagram
-		// never aliases this mbuf, so its storage recycles immediately.
-		fb := fm.Data
-		fm.BeginTransfer()
-		whole, done := h.reasm.Input(fb, h.Eng.Now())
-		fm.EndTransfer()
-		if done {
-			return whole, true
-		}
-	}
+	return fr.whole, fr.ok
 }
 
 // CloseUDP closes a datagram socket, releasing its port, channel and any

@@ -10,8 +10,11 @@ import (
 // much real CPU one simulated context switch, one Consume round trip, and
 // one sleep/wakeup cycle cost. Every experiment in the suite is built out
 // of millions of these operations, so they are the denominator of total
-// suite wall-clock time. BENCH_kernel.json records before/after numbers
-// for the direct-handoff switch-path rework.
+// suite wall-clock time. The primary benchmarks run stackless processes
+// (SpawnStep) — the mode the hot bodies use; the *Coro variants run the
+// same workloads on goroutine coroutines, the PR 5 execution model kept
+// as a fallback. BENCH_kernel.json records before/after numbers for the
+// stackless rework.
 
 // benchKernel builds a kernel on a fresh engine.
 func benchKernel() (*sim.Engine, *Kernel) {
@@ -19,18 +22,32 @@ func benchKernel() (*sim.Engine, *Kernel) {
 	return eng, New(eng, "bench")
 }
 
-// BenchmarkConsume measures the Compute round trip of a single process
-// that keeps the CPU: the process requests a 10 µs burst, the burst
-// completes, and the same process continues. One op = one Compute call.
-// This is the path the direct-handoff design makes switch-free.
+// BenchmarkConsume measures the Compute round trip of a single stackless
+// process that keeps the CPU: the process requests a 10 µs burst, the
+// burst completes, and the scheduler steps the same process inline. One
+// op = one step.
 func BenchmarkConsume(b *testing.B) {
+	eng, k := benchKernel()
+	k.SpawnStep("worker", 0, func(p *Proc) {
+		p.ReqCompute(10)
+	})
+	eng.RunFor(sim.Millisecond) // settle: clocks armed, free lists warm
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 10)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkConsumeCoro is BenchmarkConsume on a goroutine process — the
+// keep-CPU fast path of the direct-handoff design.
+func BenchmarkConsumeCoro(b *testing.B) {
 	eng, k := benchKernel()
 	k.Spawn("worker", 0, func(p *Proc) {
 		for {
 			p.Compute(10)
 		}
 	})
-	eng.RunFor(sim.Millisecond) // settle: clocks armed, free lists warm
+	eng.RunFor(sim.Millisecond)
 	b.ResetTimer()
 	eng.RunFor(int64(b.N) * 10)
 	b.StopTimer()
@@ -41,16 +58,11 @@ func BenchmarkConsume(b *testing.B) {
 // explicit charge target, the LRP protocol-thread accounting path.
 func BenchmarkConsumeSys(b *testing.B) {
 	eng, k := benchKernel()
-	var owner *Proc
-	owner = k.Spawn("owner", 0, func(p *Proc) {
-		for {
-			p.Compute(10)
-		}
+	owner := k.SpawnStep("owner", 0, func(p *Proc) {
+		p.ReqCompute(10)
 	})
-	k.Spawn("proto", 0, func(p *Proc) {
-		for {
-			p.ComputeSysFor(owner, 10)
-		}
+	k.SpawnStep("proto", 0, func(p *Proc) {
+		p.ReqComputeSysFor(owner, 10)
 	})
 	eng.RunFor(sim.Millisecond)
 	b.ResetTimer()
@@ -59,10 +71,40 @@ func BenchmarkConsumeSys(b *testing.B) {
 	k.Shutdown()
 }
 
-// BenchmarkContextSwitch measures a full simulated context switch: two
-// equal-priority processes alternately compute, wake the other, and
-// sleep. One op = one handoff from one process goroutine to the other.
+// BenchmarkContextSwitch measures a full simulated context switch
+// between two stackless processes: two equal-priority state machines
+// alternately compute, wake the other, and sleep. One op = one handoff
+// from one process to the other — a function return plus a function
+// call, no goroutine switch.
 func BenchmarkContextSwitch(b *testing.B) {
+	eng, k := benchKernel()
+	var aq, bq WaitQ
+	pingpong := func(self, other *WaitQ) StepFn {
+		computed := false
+		return func(p *Proc) {
+			if !computed {
+				computed = true
+				p.ReqCompute(5)
+				return
+			}
+			other.WakeupAll()
+			computed = false
+			p.ReqSleep(self)
+		}
+	}
+	k.SpawnStep("a", 0, pingpong(&aq, &bq))
+	k.SpawnStep("b", 0, pingpong(&bq, &aq))
+	eng.RunFor(sim.Millisecond)
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 5)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkContextSwitchCoro is BenchmarkContextSwitch on goroutine
+// processes: the same workload, but each handoff wakes the other
+// process's goroutine through a sim.Coro channel pair.
+func BenchmarkContextSwitchCoro(b *testing.B) {
 	eng, k := benchKernel()
 	var aq, bq WaitQ
 	k.Spawn("a", 0, func(p *Proc) {
@@ -86,10 +128,25 @@ func BenchmarkContextSwitch(b *testing.B) {
 	k.Shutdown()
 }
 
-// BenchmarkSleepWakeup measures the timer path: a process sleeps with a
-// timeout and is woken by the engine each cycle. One op = one
-// SleepTimeout round trip (park, timer event, wakeup, dispatch).
+// BenchmarkSleepWakeup measures the timer path: a stackless process
+// sleeps with a timeout and is woken by the engine each cycle. One op =
+// one SleepTimeout round trip (park, timer event, wakeup, dispatch).
 func BenchmarkSleepWakeup(b *testing.B) {
+	eng, k := benchKernel()
+	var wq WaitQ
+	k.SpawnStep("sleeper", 0, func(p *Proc) {
+		p.ReqSleepTimeout(&wq, 10)
+	})
+	eng.RunFor(sim.Millisecond)
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 10)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkSleepWakeupCoro is BenchmarkSleepWakeup on a goroutine
+// process.
+func BenchmarkSleepWakeupCoro(b *testing.B) {
 	eng, k := benchKernel()
 	var wq WaitQ
 	k.Spawn("sleeper", 0, func(p *Proc) {
@@ -107,8 +164,32 @@ func BenchmarkSleepWakeup(b *testing.B) {
 // BenchmarkInterruptedConsume measures a compute burst that is repeatedly
 // preempted by interrupt-level work, the overload scenario of Figure 3:
 // the process must resume its burst after every interrupt without a
-// process-level context switch.
+// process-level context switch. The WorkItem free list and the event
+// pool make the whole cycle allocation-free.
 func BenchmarkInterruptedConsume(b *testing.B) {
+	eng, k := benchKernel()
+	k.SpawnStep("worker", 0, func(p *Proc) {
+		p.ReqCompute(10)
+	})
+	var post func()
+	post = func() {
+		if k.shutdown {
+			return
+		}
+		k.PostHW(WorkItem{Cost: 2})
+		eng.After(10, post)
+	}
+	eng.After(10, post)
+	eng.RunFor(sim.Millisecond)
+	b.ResetTimer()
+	eng.RunFor(int64(b.N) * 12)
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkInterruptedConsumeCoro is BenchmarkInterruptedConsume on a
+// goroutine process.
+func BenchmarkInterruptedConsumeCoro(b *testing.B) {
 	eng, k := benchKernel()
 	k.Spawn("worker", 0, func(p *Proc) {
 		for {
@@ -129,4 +210,20 @@ func BenchmarkInterruptedConsume(b *testing.B) {
 	eng.RunFor(int64(b.N) * 12)
 	b.StopTimer()
 	k.Shutdown()
+}
+
+// BenchmarkSpawn100k measures cold spawn throughput of stackless
+// processes — the path the 100k-process worlds lean on.
+func BenchmarkSpawn100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, k := benchKernel()
+		var wq WaitQ
+		for i := 0; i < 100_000; i++ {
+			k.SpawnStep("p", 0, func(p *Proc) {
+				p.ReqSleep(&wq)
+			})
+		}
+		eng.RunFor(sim.Millisecond)
+		k.Shutdown()
+	}
 }

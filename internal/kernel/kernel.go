@@ -13,13 +13,17 @@
 // context during the reception of packets is charged to the application
 // that happens to execute when a packet arrives").
 //
-// Application code runs on per-process goroutines that are strictly
+// Application code runs in one of two interchangeable modes. In
+// goroutine mode (Spawn), each process gets a goroutine strictly
 // interlocked with the engine so the whole simulation executes one
-// goroutine at a time and is fully deterministic. Control moves by
-// direct handoff (sim.Coro): a process step requested by the scheduler
-// switches straight to the process goroutine and back, and a process
-// that keeps the CPU after a burst fires its own burst-completion event
-// in place and continues without any goroutine switch. See DESIGN.md §9.
+// goroutine at a time; control moves by direct handoff (sim.Coro), and
+// a process that keeps the CPU after a burst fires its own
+// burst-completion event in place without any goroutine switch. In
+// stackless mode (SpawnStep), the process body is an explicit state
+// machine the scheduler steps inline at dispatch — a simulated context
+// switch is a function return plus a function call. Scheduling
+// decisions, accounting and event order are identical in both modes.
+// See DESIGN.md §9 and §11.
 package kernel
 
 import (
@@ -158,6 +162,9 @@ type Kernel struct {
 
 	hwQ []*WorkItem
 	swQ []*WorkItem
+	// itemFree recycles WorkItems between PostHW/PostSW and burst
+	// completion so posting interrupt work does not allocate once warm.
+	itemFree []*WorkItem
 
 	procs []*Proc
 	runq  []*Proc
@@ -268,34 +275,69 @@ func (k *Kernel) CurProc() *Proc { return k.curProc }
 
 // PostHW queues hardware-interrupt work. It preempts everything else on
 // this CPU and runs FIFO with other hardware work.
+//
+//lrp:hotpath
 func (k *Kernel) PostHW(item WorkItem) {
-	it := item
-	k.hwQ = append(k.hwQ, &it)
+	k.hwQ = append(k.hwQ, k.takeItem(item)) //lrp:coldalloc queue slice retains capacity across posts
 	k.reschedule()
 }
 
 // PostSW queues software-interrupt work. It preempts process execution
 // but not hardware interrupts.
+//
+//lrp:hotpath
 func (k *Kernel) PostSW(item WorkItem) {
-	it := item
-	k.swQ = append(k.swQ, &it)
+	k.swQ = append(k.swQ, k.takeItem(item)) //lrp:coldalloc queue slice retains capacity across posts
 	k.reschedule()
+}
+
+// takeItem boxes item into a recycled (or fresh) heap slot.
+//
+//lrp:hotpath
+func (k *Kernel) takeItem(item WorkItem) *WorkItem {
+	if n := len(k.itemFree); n > 0 {
+		it := k.itemFree[n-1]
+		k.itemFree = k.itemFree[:n-1]
+		*it = item
+		return it
+	}
+	it := new(WorkItem) //lrp:coldalloc free list warms to the high-water mark of in-flight items
+	*it = item
+	return it
+}
+
+// releaseItem returns a completed item to the free list.
+//
+//lrp:hotpath
+func (k *Kernel) releaseItem(it *WorkItem) {
+	it.ChargeTo = nil
+	it.Fn = nil
+	k.itemFree = append(k.itemFree, it) //lrp:coldalloc free list warms to the high-water mark of in-flight items
+}
+
+// popIntr removes the head of an interrupt queue in place, preserving
+// the slice's backing array so a queue that drains and refills never
+// re-allocates.
+//
+//lrp:hotpath
+func popIntr(q []*WorkItem) []*WorkItem {
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
 }
 
 // SWPending returns the number of queued software-interrupt work items.
 func (k *Kernel) SWPending() int { return len(k.swQ) }
 
-// Spawn creates a process running fn and makes it runnable. fn executes on
-// its own goroutine, interlocked with the engine; it must interact with
-// simulated time only through Proc methods.
-func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
+// newProc allocates and registers a process shell shared by Spawn and
+// SpawnStep: runnable state, cached timeout callback, process list
+// membership. The caller attaches a body and makes it runnable.
+func (k *Kernel) newProc(name string, nice int) *Proc {
 	p := &Proc{
 		K:     k,
 		Name:  name,
 		Nice:  nice,
 		state: stateRunnable,
-		coro:  k.Eng.NewCoro(),
-		done:  make(chan struct{}),
 	}
 	p.timeoutFn = func() {
 		// A sleep timeout is a timer interrupt on the CPU that armed it:
@@ -309,6 +351,17 @@ func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
 	}
 	p.recomputePrio()
 	k.procs = append(k.procs, p)
+	return p
+}
+
+// Spawn creates a process running fn and makes it runnable. fn executes on
+// its own goroutine, interlocked with the engine; it must interact with
+// simulated time only through Proc methods. See SpawnStep for the
+// stackless alternative.
+func (k *Kernel) Spawn(name string, nice int, fn func(*Proc)) *Proc {
+	p := k.newProc(name, nice)
+	p.coro = k.Eng.NewCoro()
+	p.done = make(chan struct{})
 	k.addRunnable(p)
 	go procMain(p, fn) //lrp:coroutine — parked immediately; the scheduler keeps exactly one goroutine runnable
 	k.reschedule()
@@ -327,14 +380,18 @@ func (k *Kernel) Shutdown() {
 		if p.state == stateDead {
 			continue
 		}
-		p.coro.Kill()
 		if !p.timeoutEv.IsZero() {
 			k.Eng.Cancel(p.timeoutEv)
 			p.timeoutEv = sim.Event{}
 		}
 		p.state = stateDead
-		p.coro.Signal()
-		<-p.done
+		if p.coro != nil {
+			// Goroutine-mode process: unwind its goroutine. A stackless
+			// process has no goroutine — marking it dead is enough.
+			p.coro.Kill()
+			p.coro.Signal()
+			<-p.done
+		}
 	}
 	k.runq = nil
 }
@@ -593,21 +650,23 @@ func (k *Kernel) onBurstDone() {
 	k.closeBurst()
 	switch was {
 	case bandHW:
-		k.hwQ = k.hwQ[1:]
+		k.hwQ = popIntr(k.hwQ)
 		if k.Trace != nil {
 			k.Trace.Add(trace.KindIntr, "%s: hw work done", k.Name) //lrp:coldalloc vararg boxing; only reached with tracing enabled
 		}
 		if item.Fn != nil {
 			item.Fn()
 		}
+		k.releaseItem(item)
 	case bandSW:
-		k.swQ = k.swQ[1:]
+		k.swQ = popIntr(k.swQ)
 		if k.Trace != nil {
 			k.Trace.Add(trace.KindSoftIntr, "%s: sw work done", k.Name) //lrp:coldalloc vararg boxing; only reached with tracing enabled
 		}
 		if item.Fn != nil {
 			item.Fn()
 		}
+		k.releaseItem(item)
 	case bandProc:
 		if p.pendingWork <= 0 {
 			// Tail handoff: the process resumes its user step on this
@@ -632,6 +691,17 @@ func (k *Kernel) dispatchContinue(p *Proc) {
 	k.enter()
 	k.curProc = p
 	p.state = stateRunning
+	if p.step != nil {
+		// Stackless tail handoff: run the next step inline, then the
+		// same [apply, reschedule] a goroutine process's yield performs,
+		// and return to the event loop. No goroutine is woken; the event
+		// order is the one a root-driven goroutine run produces.
+		k.inSched = true
+		k.stepStackless(p)
+		k.inSched = false
+		k.reschedule()
+		return
+	}
 	p.resumedBy = nil
 	p.dispatched = true
 	k.inSched = true
@@ -657,6 +727,14 @@ func (k *Kernel) runProcStep(p *Proc) bool {
 	k.enter()
 	k.curProc = p
 	p.state = stateRunning
+	if p.step != nil {
+		// Stackless: the step runs inline on this goroutine (inSched is
+		// already held by the scheduling loop) and its request is applied
+		// on return — the same [user step, apply] sequence the nested
+		// goroutine path below performs, minus the two switches.
+		k.stepStackless(p)
+		return false
+	}
 	p.dispatched = true
 	self := k.Eng.Current()
 	if p.coro == self {

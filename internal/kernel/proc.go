@@ -118,6 +118,15 @@ type Proc struct {
 	reqWq       *WaitQ
 	reqTimeout  int64
 
+	// step, when non-nil, is the body of a stackless process: the
+	// scheduler calls it inline at each dispatch instead of switching to
+	// a goroutine, and coro/done stay nil. See step.go.
+	step StepFn
+	// delayWq is the private wait queue backing ReqDelay/Delay: nothing
+	// but the sleep timeout ever wakes it, so one reusable queue per
+	// process replaces an allocation per Delay call.
+	delayWq WaitQ
+
 	coro *sim.Coro
 	// resumedBy, when non-nil, is the coroutine parked inside runProcStep
 	// waiting for this process's next request; the next yield switches
@@ -183,6 +192,11 @@ func procMain(p *Proc, fn func(*Proc)) {
 //
 //lrp:hotpath
 func (p *Proc) yield() {
+	if p.step != nil {
+		// Blocking methods need a goroutine to park; a stackless body
+		// must issue requests with the Req* setters and return instead.
+		panic("kernel: blocking call on stackless process " + p.Name) //lrp:coldalloc assertion path
+	}
 	k := p.K
 	if rb := p.resumedBy; rb != nil {
 		p.resumedBy = nil
@@ -204,14 +218,9 @@ func (p *Proc) yield() {
 //
 //lrp:hotpath
 func (p *Proc) Compute(d int64) {
-	if d <= 0 {
-		return
+	if p.ReqCompute(d) {
+		p.yield()
 	}
-	p.reqKind = reqConsume
-	p.reqD = d
-	p.reqSys = false
-	p.reqChargeTo = nil
-	p.yield()
 }
 
 // ComputeSys consumes d microseconds of CPU as system time (work done in
@@ -220,14 +229,9 @@ func (p *Proc) Compute(d int64) {
 //
 //lrp:hotpath
 func (p *Proc) ComputeSys(d int64) {
-	if d <= 0 {
-		return
+	if p.ReqComputeSys(d) {
+		p.yield()
 	}
-	p.reqKind = reqConsume
-	p.reqD = d
-	p.reqSys = true
-	p.reqChargeTo = nil
-	p.yield()
 }
 
 // ComputeSysFor consumes d microseconds of CPU as system time but charges
@@ -236,23 +240,16 @@ func (p *Proc) ComputeSys(d int64) {
 //
 //lrp:hotpath
 func (p *Proc) ComputeSysFor(owner *Proc, d int64) {
-	if d <= 0 {
-		return
+	if p.ReqComputeSysFor(owner, d) {
+		p.yield()
 	}
-	p.reqKind = reqConsume
-	p.reqD = d
-	p.reqSys = true
-	p.reqChargeTo = owner
-	p.yield()
 }
 
 // Sleep blocks the process on wq until a wakeup.
 //
 //lrp:hotpath
 func (p *Proc) Sleep(wq *WaitQ) {
-	p.reqKind = reqSleep
-	p.reqWq = wq
-	p.reqTimeout = 0
+	p.ReqSleep(wq)
 	p.yield()
 }
 
@@ -261,13 +258,7 @@ func (p *Proc) Sleep(wq *WaitQ) {
 //
 //lrp:hotpath
 func (p *Proc) SleepTimeout(wq *WaitQ, timeout int64) (timedOut bool) {
-	p.reqKind = reqSleep
-	p.reqWq = wq
-	if timeout > 0 {
-		p.reqTimeout = timeout
-	} else {
-		p.reqTimeout = 0
-	}
+	p.ReqSleepTimeout(wq, timeout)
 	p.yield()
 	if timeout <= 0 {
 		return false
@@ -278,18 +269,16 @@ func (p *Proc) SleepTimeout(wq *WaitQ, timeout int64) (timedOut bool) {
 // Delay blocks the process for d microseconds of simulated time without
 // consuming CPU (like sleeping on a timer).
 func (p *Proc) Delay(d int64) {
-	if d <= 0 {
-		return
+	if p.ReqDelay(d) {
+		p.yield()
 	}
-	var wq WaitQ
-	p.reqKind = reqSleep
-	p.reqWq = &wq
-	p.reqTimeout = d
-	p.yield()
 }
 
 // Exit terminates the process immediately, unwinding its goroutine.
 func (p *Proc) Exit() {
+	if p.step != nil {
+		panic("kernel: Exit on stackless process " + p.Name + "; request exit with ReqExit") //lrp:coldalloc assertion path
+	}
 	panic(errExited)
 }
 
