@@ -37,21 +37,50 @@ type expectation struct {
 // `// want` expectations as test errors.
 func Run(t *testing.T, a *framework.Analyzer, dir, pkgpath string) {
 	t.Helper()
-	loader, err := framework.NewLoader(dir)
+	RunProgram(t, a, Fixture{Dir: dir, Path: pkgpath})
+}
+
+// Fixture names one testdata directory and the import path it poses as.
+type Fixture struct {
+	Dir  string
+	Path string
+}
+
+// RunProgram loads several fixture directories as one program — in the
+// given order, so an earlier fixture can be imported by a later one under
+// its assumed path — applies the analyzer to every package, and checks
+// the union of diagnostics against the `// want` expectations of all
+// fixtures. This is how interprocedural analyzers are tested: the call
+// chain can cross fixture-package boundaries.
+func RunProgram(t *testing.T, a *framework.Analyzer, fixtures ...Fixture) {
+	t.Helper()
+	if len(fixtures) == 0 {
+		t.Fatal("no fixtures")
+	}
+	loader, err := framework.NewLoader(fixtures[0].Dir)
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	pkg, err := loader.LoadDir(dir, pkgpath)
-	if err != nil {
-		t.Fatalf("load %s as %s: %v", dir, pkgpath, err)
+	var pkgs []*framework.Package
+	for _, fx := range fixtures {
+		pkg, err := loader.LoadDir(fx.Dir, fx.Path)
+		if err != nil {
+			t.Fatalf("load %s as %s: %v", fx.Dir, fx.Path, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	diags, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{a})
+	prog := framework.NewProgram(pkgs, loader.Loaded())
+	diags, err := framework.Run(prog, []*framework.Analyzer{a})
 	if err != nil {
 		t.Fatalf("run %s: %v", a.Name, err)
 	}
-	expects, err := parseWants(pkg)
-	if err != nil {
-		t.Fatalf("parse expectations: %v", err)
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		exp, err := parseWants(pkg)
+		if err != nil {
+			t.Fatalf("parse expectations: %v", err)
+		}
+		expects = append(expects, exp...)
 	}
 	for _, d := range diags {
 		if !claim(expects, d) {

@@ -23,10 +23,22 @@
 // the kernel may mark a `go` statement with `//lrp:coroutine` for its
 // strict-handoff process coroutines, which keep exactly one goroutine
 // runnable at a time and are therefore deterministic.
+//
+// The wall-clock, global-rand, and map-iteration bans are also enforced
+// transitively: a helper outside the sim-core set that is reachable (via
+// the program call graph) from a sim-core function is held to the same
+// rules, and the finding is reported at the offending site with the call
+// chain from sim-core. Without this, moving `time.Now()` into a helper
+// package would silence the analyzer while still poisoning the results.
+// Reachability stops at lrp/internal/runner (allowlisted wholesale: the
+// sweep scheduler legitimately times and shuffles work across real
+// goroutines) and does not cross dynamic calls — see DESIGN.md §12.
 package determinism
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -94,6 +106,9 @@ func run(pass *framework.Pass) error {
 	checkConc := (core || internal) && !concurrencyAllowed[pass.PkgPath]
 	if !core && !checkConc {
 		return nil
+	}
+	if core {
+		transitive(pass)
 	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
@@ -172,4 +187,133 @@ func selectorPackage(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool)
 		return "", false
 	}
 	return pn.Imported().Path(), true
+}
+
+// finding is one sim-core-rule violation inside a helper function.
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+// findingCache memoizes helper scans across roots and passes, keyed by
+// declaration identity (stable for the lifetime of a loader).
+var findingCache = map[*ast.FuncDecl][]finding{}
+
+// transitive applies the sim-core time/rand/map-order rules to every
+// module-internal helper reachable from a function declared in this
+// sim-core package, reporting at the helper's offending site with the
+// call chain from the root.
+func transitive(pass *framework.Pass) {
+	g := pass.Prog.CallGraph()
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			root, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if root == nil {
+				continue
+			}
+			type frame struct {
+				fn    *types.Func
+				chain []*types.Func
+			}
+			visited := map[*types.Func]bool{root: true}
+			var stack []frame
+			push := func(from *types.Func, chain []*types.Func) {
+				for _, e := range g.Callees(from) {
+					if visited[e.Callee] {
+						continue
+					}
+					fi := g.Info(e.Callee)
+					if fi == nil {
+						continue // no body in the program (stdlib)
+					}
+					// Sim-core packages are checked by their own pass;
+					// runner is allowlisted; non-module code is out of
+					// scope.
+					if simCore[fi.Pkg.Path] || concurrencyAllowed[fi.Pkg.Path] ||
+						!strings.HasPrefix(fi.Pkg.Path, "lrp/") {
+						continue
+					}
+					visited[e.Callee] = true
+					next := append(append([]*types.Func(nil), chain...), e.Callee)
+					stack = append(stack, frame{fn: e.Callee, chain: next})
+				}
+			}
+			push(root, nil)
+			for len(stack) > 0 {
+				fr := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				fi := g.Info(fr.fn)
+				for _, fnd := range scanHelper(fi) {
+					if reported[fnd.pos] {
+						continue
+					}
+					reported[fnd.pos] = true
+					pass.Reportf(fnd.pos, "%s (reached from sim-core via %s)",
+						fnd.msg, chainString(root, fr.chain))
+				}
+				push(fr.fn, fr.chain)
+			}
+		}
+	}
+}
+
+// chainString renders root -> f -> g for the diagnostic.
+func chainString(root *types.Func, chain []*types.Func) string {
+	s := framework.ShortName(root)
+	for _, fn := range chain {
+		s += " -> " + framework.ShortName(fn)
+	}
+	return s
+}
+
+// scanHelper collects the sim-core-rule violations (banned time/rand
+// selectors, map iteration) in one helper body, memoized.
+func scanHelper(fi *framework.FuncInfo) []finding {
+	if cached, ok := findingCache[fi.Decl]; ok {
+		return cached
+	}
+	var out []finding
+	info := fi.Pkg.TypesInfo
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pn.Imported().Path(); path {
+			case "time":
+				if bannedTime[n.Sel.Name] {
+					out = append(out, finding{n.Pos(), fmt.Sprintf(
+						"time.%s reads the wall clock or arms a real timer: use the sim.Engine clock (Now/At/After)", n.Sel.Name)})
+				}
+			case "math/rand", "math/rand/v2":
+				if bannedRand[n.Sel.Name] {
+					out = append(out, finding{n.Pos(), fmt.Sprintf(
+						"%s.%s uses the shared global generator: use an explicitly seeded sim.Rand", path, n.Sel.Name)})
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				out = append(out, finding{n.Pos(),
+					"range over map iterates in randomized order: iterate a deterministic slice or sort the keys first"})
+			}
+		}
+		return true
+	})
+	findingCache[fi.Decl] = out
+	return out
 }

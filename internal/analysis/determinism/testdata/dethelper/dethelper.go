@@ -1,0 +1,27 @@
+// Package dethelper poses as a module-internal utility package outside
+// the sim-core set: its own pass applies only the concurrency rules, so
+// the wall-clock read and map iteration below are reportable solely
+// through the transitive sweep from a sim-core caller.
+package dethelper
+
+import "time"
+
+// sums gives Sum a map to iterate.
+var sums = map[string]int{}
+
+// Stamp reads the wall clock and drags Sum into the reachable set: legal
+// for a package nothing in sim-core calls, a determinism leak the moment
+// one does.
+func Stamp() int64 {
+	return time.Now().UnixNano() + int64(Sum(sums)) // want `time\.Now reads the wall clock or arms a real timer.*\(reached from sim-core via core\.Record -> dethelper\.Stamp\)`
+}
+
+// Sum iterates a map in randomized order, two frames below the sim-core
+// caller.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map iterates in randomized order.*\(reached from sim-core via core\.Record -> dethelper\.Stamp -> dethelper\.Sum\)`
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package detroot poses as "lrp/internal/core" (a sim-core package) in
+// the determinism transitive tests: it is clean in isolation, and every
+// diagnostic it triggers points into the helper package it calls.
+package detroot
+
+import "lrp/internal/dethelper"
+
+// Record funnels sim-core execution into the helper package; the
+// wall-clock and map-order findings are reported at the helper's sites
+// with this caller's chain.
+func Record() int64 {
+	return dethelper.Stamp()
+}

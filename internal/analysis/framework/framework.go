@@ -34,7 +34,9 @@ type Analyzer struct {
 }
 
 // Pass carries one package's syntax and type information to an analyzer,
-// mirroring analysis.Pass.
+// mirroring analysis.Pass. Prog is the whole-program view shared by every
+// pass of one run: interprocedural analyzers reach the call graph (and the
+// ASTs of dependency packages) through it.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -42,6 +44,7 @@ type Pass struct {
 	Pkg       *types.Package
 	PkgPath   string
 	TypesInfo *types.Info
+	Prog      *Program
 
 	diags *[]Diagnostic
 }
@@ -66,13 +69,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies each analyzer to each package and returns the surviving
-// diagnostics sorted by position. Suppressed findings (nolint/coldalloc
-// lines) are filtered out before sorting.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Run applies each analyzer to each of the program's packages and returns
+// the surviving diagnostics sorted by position. Suppressed findings
+// (nolint/coldalloc lines) are filtered out before sorting; the
+// suppression set spans the whole program, so a waiver in a callee's
+// package also silences interprocedural findings that point there.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := suppressionSet{}
+	for _, pkg := range prog.All {
+		sup.scan(pkg)
+	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sup := suppressions(pkg)
+	for _, pkg := range prog.Pkgs {
 		for _, a := range analyzers {
 			var out []Diagnostic
 			pass := &Pass{
@@ -82,6 +90,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				PkgPath:   pkg.Path,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
 				diags:     &out,
 			}
 			if err := a.Run(pass); err != nil {
@@ -124,9 +133,8 @@ func (s suppressionSet) suppressed(analyzer string, pos token.Position) bool {
 	return len(names) == 0 || names[analyzer]
 }
 
-// suppressions scans a package's comments for waiver directives.
-func suppressions(pkg *Package) suppressionSet {
-	out := suppressionSet{}
+// scan adds a package's waiver directives to the set.
+func (out suppressionSet) scan(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -149,7 +157,6 @@ func suppressions(pkg *Package) suppressionSet {
 			}
 		}
 	}
-	return out
 }
 
 // HasDirective reports whether cg contains a comment line whose text,

@@ -85,6 +85,24 @@ func NewLoader(dir string) (*Loader, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Loaded returns every module-internal package the loader has parsed and
+// type-checked so far — the requested patterns plus their module
+// dependencies pulled in by imports — sorted by import path. Standard
+// library packages are not included (they are type-checked without
+// retaining syntax).
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
+}
+
 // Import implements types.Importer: module-internal paths load from the
 // module tree, everything else is delegated to the GOROOT source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {

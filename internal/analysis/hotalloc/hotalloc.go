@@ -1,11 +1,14 @@
 // Package hotalloc reports heap-allocating constructs inside functions
-// annotated `//lrp:hotpath` (a line in the function's doc comment). The
-// annotated set — the sim event loop, the mbuf recycling cycle, the rx
-// path, and the pkt append builders — is pinned allocation-free by the
-// AllocsPerRun tests and BENCH_core.json; this analyzer catches the
-// regression at compile review time instead of at the next bench run.
+// annotated `//lrp:hotpath` (a line in the function's doc comment) — and,
+// interprocedurally, inside any function reachable from one through the
+// program call graph. The annotated set — the sim event loop, the mbuf
+// recycling cycle, the rx path, and the pkt append builders — is pinned
+// allocation-free by the AllocsPerRun tests and BENCH_core.json; this
+// analyzer catches the regression at compile review time instead of at the
+// next bench run, including the wrapper loophole where a hot function
+// delegates the allocation to a helper.
 //
-// Flagged inside a hot function:
+// Flagged inside a hot function or a function it (transitively) calls:
 //
 //   - append whose destination is not a parameter of the function.
 //     Appending into a caller-provided buffer is the builder contract
@@ -18,16 +21,27 @@
 //   - interface conversions at call arguments, assignments, and explicit
 //     conversions: boxing a concrete value allocates.
 //
-// Two escapes: a statement that is a direct panic(...) call is cold by
-// definition and skipped entirely, and a line carrying
-// `//lrp:coldalloc <reason>` waives its findings (used for the amortized
-// free-list refill sites, which allocate only on pool miss).
+// Transitive findings are reported at the allocation site with the call
+// chain from the hot root in the message. Traversal stops at functions
+// that are themselves `//lrp:hotpath` (they are their own roots), at
+// functions whose doc comment carries `//lrp:coldalloc <reason>` (a
+// declared-cold callee: amortized refill, assertion formatting), and at
+// call sites inside panic(...) statements (cold by definition). Calls
+// through function values and into packages outside the module are not
+// traversed — see DESIGN.md §12 for the soundness boundary.
+//
+// Line escapes are unchanged: a statement that is a direct panic(...)
+// call is skipped entirely, and a line carrying `//lrp:coldalloc <reason>`
+// waives its findings at any call depth (suppressions span the whole
+// program).
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"lrp/internal/analysis/framework"
 )
@@ -35,26 +49,131 @@ import (
 // Analyzer is the hot-path allocation check.
 var Analyzer = &framework.Analyzer{
 	Name: "hotalloc",
-	Doc:  "report heap allocations (append growth, conversions, closures, boxing) in //lrp:hotpath functions",
+	Doc:  "report heap allocations (append growth, conversions, closures, boxing) in //lrp:hotpath functions and everything they transitively call",
 	Run:  run,
 }
 
+// finding is one allocation site inside a scanned function.
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+// findingCache memoizes per-function scan results across roots and passes
+// (a helper reachable from many hot roots is scanned once). Keyed by
+// declaration identity, which is stable for the lifetime of a loader.
+var findingCache = map[*ast.FuncDecl][]finding{}
+
 func run(pass *framework.Pass) error {
+	g := pass.Prog.CallGraph()
+	reported := map[token.Pos]bool{}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !framework.HasDirective(fd.Doc, "lrp:hotpath") {
 				continue
 			}
-			params := paramSet(pass, fd)
-			check(pass, fd.Body, params)
+			root, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			// Direct findings first, with the original message shape.
+			for _, fnd := range scanFunc(pass.Pkg, pass.TypesInfo, fd) {
+				if !reported[fnd.pos] {
+					reported[fnd.pos] = true
+					pass.Reportf(fnd.pos, "%s", fnd.msg)
+				}
+			}
+			if root == nil {
+				continue
+			}
+			transitive(pass, g, root, reported)
 		}
 	}
 	return nil
 }
 
+// transitive walks the call graph from root in depth-first source order,
+// reporting the findings of every reachable callee together with the call
+// chain that reaches it.
+func transitive(pass *framework.Pass, g *framework.CallGraph, root *types.Func, reported map[token.Pos]bool) {
+	type frame struct {
+		fn    *types.Func
+		chain []*types.Func // path from root, excluding root, including fn
+	}
+	visited := map[*types.Func]bool{root: true}
+	var stack []frame
+	push := func(from *types.Func, chain []*types.Func) {
+		for _, e := range g.Callees(from) {
+			if e.InPanic || visited[e.Callee] {
+				continue
+			}
+			fi := g.Info(e.Callee)
+			if fi == nil {
+				continue // no body in the program (stdlib, interface decl)
+			}
+			if framework.HasDirective(fi.Decl.Doc, "lrp:hotpath") {
+				continue // its own root; reported there without a chain
+			}
+			if framework.HasDirective(fi.Decl.Doc, "lrp:coldalloc") {
+				continue // declared cold at any depth
+			}
+			visited[e.Callee] = true
+			next := append(append([]*types.Func(nil), chain...), e.Callee)
+			stack = append(stack, frame{fn: e.Callee, chain: next})
+		}
+	}
+	push(root, nil)
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fi := g.Info(fr.fn)
+		for _, fnd := range scanFunc(fi.Pkg.Types, fi.Pkg.TypesInfo, fi.Decl) {
+			if reported[fnd.pos] {
+				continue
+			}
+			reported[fnd.pos] = true
+			pass.Reportf(fnd.pos, "%s (reached from //lrp:hotpath %s via %s)",
+				fnd.msg, framework.ShortName(root), chainString(root, fr.chain))
+		}
+		push(fr.fn, fr.chain)
+	}
+}
+
+// chainString renders root -> f -> g for the diagnostic.
+func chainString(root *types.Func, chain []*types.Func) string {
+	var b strings.Builder
+	b.WriteString(framework.ShortName(root))
+	for _, fn := range chain {
+		b.WriteString(" -> ")
+		b.WriteString(framework.ShortName(fn))
+	}
+	return b.String()
+}
+
+// scanner holds the per-function scan context.
+type scanner struct {
+	pkg      *types.Package
+	info     *types.Info
+	params   map[*types.Var]bool
+	findings []finding
+}
+
+func (s *scanner) reportf(pos token.Pos, format string, args ...any) {
+	s.findings = append(s.findings, finding{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// scanFunc returns the allocation findings of one function body,
+// memoized.
+func scanFunc(pkg *types.Package, info *types.Info, fd *ast.FuncDecl) []finding {
+	if cached, ok := findingCache[fd]; ok {
+		return cached
+	}
+	s := &scanner{pkg: pkg, info: info, params: paramSet(info, fd)}
+	s.check(fd.Body)
+	findingCache[fd] = s.findings
+	return s.findings
+}
+
 // paramSet collects the function's parameter and receiver variables.
-func paramSet(pass *framework.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+func paramSet(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
 	out := map[*types.Var]bool{}
 	addFields := func(fl *ast.FieldList) {
 		if fl == nil {
@@ -62,7 +181,7 @@ func paramSet(pass *framework.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
 		}
 		for _, field := range fl.List {
 			for _, name := range field.Names {
-				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				if v, ok := info.Defs[name].(*types.Var); ok {
 					out[v] = true
 				}
 			}
@@ -78,13 +197,13 @@ func paramSet(pass *framework.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
 // check walks a hot function body, skipping whole panic statements and
 // remembering which func literals are invoked on the spot (ast.Inspect
 // visits a CallExpr before its Fun, so the set is filled in time).
-func check(pass *framework.Pass, body ast.Node, params map[*types.Var]bool) {
+func (s *scanner) check(body ast.Node) {
 	calledNow := map[*ast.FuncLit]bool{}
 	extendMake := map[*ast.CallExpr]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.ExprStmt:
-			if call, ok := n.X.(*ast.CallExpr); ok && isBuiltin(pass, call, "panic") {
+			if call, ok := n.X.(*ast.CallExpr); ok && s.isBuiltin(call, "panic") {
 				return false // cold by definition
 			}
 		case *ast.CallExpr:
@@ -94,38 +213,38 @@ func check(pass *framework.Pass, body ast.Node, params map[*types.Var]bool) {
 			// append(dst, make([]T, n)...) is the zero-fill extension
 			// idiom: the compiler recognizes it and allocates nothing
 			// when dst has capacity, so the inner make is exempt.
-			if isBuiltin(pass, n, "append") && n.Ellipsis.IsValid() && len(n.Args) == 2 {
-				if mk, ok := n.Args[1].(*ast.CallExpr); ok && isBuiltin(pass, mk, "make") {
+			if s.isBuiltin(n, "append") && n.Ellipsis.IsValid() && len(n.Args) == 2 {
+				if mk, ok := n.Args[1].(*ast.CallExpr); ok && s.isBuiltin(mk, "make") {
 					extendMake[mk] = true
 				}
 			}
 			if extendMake[n] {
 				return true
 			}
-			return checkCall(pass, n, params)
+			return s.checkCall(n)
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := n.X.(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "&composite literal allocates in a hot path")
+					s.reportf(n.Pos(), "&composite literal allocates in a hot path")
 					return false
 				}
 			}
 		case *ast.CompositeLit:
-			tv, ok := pass.TypesInfo.Types[n]
+			tv, ok := s.info.Types[n]
 			if !ok {
 				return true
 			}
 			switch tv.Type.Underlying().(type) {
 			case *types.Slice, *types.Map:
-				pass.Reportf(n.Pos(), "%s literal allocates its backing store in a hot path", kindName(tv.Type))
+				s.reportf(n.Pos(), "%s literal allocates its backing store in a hot path", kindName(tv.Type))
 			}
 		case *ast.FuncLit:
 			if !calledNow[n] {
-				pass.Reportf(n.Pos(), "func literal may escape and allocate (the closure and its captures) in a hot path")
+				s.reportf(n.Pos(), "func literal may escape and allocate (the closure and its captures) in a hot path")
 			}
 			return false // the literal's own body is a different function
 		case *ast.AssignStmt:
-			checkBoxingAssign(pass, n)
+			s.checkBoxingAssign(n)
 		}
 		return true
 	})
@@ -133,52 +252,55 @@ func check(pass *framework.Pass, body ast.Node, params map[*types.Var]bool) {
 
 // checkCall handles the call-shaped checks; it returns false when the
 // walk should not descend (the default walker would revisit children).
-func checkCall(pass *framework.Pass, call *ast.CallExpr, params map[*types.Var]bool) bool {
+func (s *scanner) checkCall(call *ast.CallExpr) bool {
 	// Type conversions.
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
-		checkConversion(pass, call, tv.Type)
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		s.checkConversion(call, tv.Type)
 		return true
 	}
 	switch {
-	case isBuiltin(pass, call, "append"):
-		if len(call.Args) > 0 && !isParamExpr(pass, call.Args[0], params) {
-			pass.Reportf(call.Pos(), "append may grow and allocate in a hot path: preallocate capacity, or append into a caller-sized parameter buffer")
+	case s.isBuiltin(call, "append"):
+		if s.isDeleteIdiom(call) {
+			return true // append(s[:i], s[i+1:]...) shifts in place, never grows
+		}
+		if len(call.Args) > 0 && !s.isParamExpr(call.Args[0]) {
+			s.reportf(call.Pos(), "append may grow and allocate in a hot path: preallocate capacity, or append into a caller-sized parameter buffer")
 		}
 		return true
-	case isBuiltin(pass, call, "make"):
-		pass.Reportf(call.Pos(), "make allocates in a hot path")
+	case s.isBuiltin(call, "make"):
+		s.reportf(call.Pos(), "make allocates in a hot path")
 		return true
-	case isBuiltin(pass, call, "new"):
-		pass.Reportf(call.Pos(), "new allocates in a hot path")
+	case s.isBuiltin(call, "new"):
+		s.reportf(call.Pos(), "new allocates in a hot path")
 		return true
 	}
-	checkBoxingCall(pass, call)
+	s.checkBoxingCall(call)
 	return true
 }
 
 // checkConversion flags string<->[]byte copies and interface boxing via
 // explicit conversion.
-func checkConversion(pass *framework.Pass, call *ast.CallExpr, to types.Type) {
+func (s *scanner) checkConversion(call *ast.CallExpr, to types.Type) {
 	if len(call.Args) != 1 {
 		return
 	}
-	fromTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	fromTV, ok := s.info.Types[call.Args[0]]
 	if !ok {
 		return
 	}
 	from := fromTV.Type
 	if isString(to) && isByteSlice(from) || isByteSlice(to) && isString(from) {
-		pass.Reportf(call.Pos(), "%s(%s) conversion copies in a hot path", kindName(to), kindName(from))
+		s.reportf(call.Pos(), "%s(%s) conversion copies in a hot path", kindName(to), kindName(from))
 		return
 	}
 	if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) {
-		pass.Reportf(call.Pos(), "conversion to interface boxes (allocates) in a hot path")
+		s.reportf(call.Pos(), "conversion to interface boxes (allocates) in a hot path")
 	}
 }
 
 // checkBoxingCall flags concrete arguments passed to interface parameters.
-func checkBoxingCall(pass *framework.Pass, call *ast.CallExpr) {
-	tv, ok := pass.TypesInfo.Types[call.Fun]
+func (s *scanner) checkBoxingCall(call *ast.CallExpr) {
+	tv, ok := s.info.Types[call.Fun]
 	if !ok || tv.Type == nil {
 		return
 	}
@@ -206,41 +328,75 @@ func checkBoxingCall(pass *framework.Pass, call *ast.CallExpr) {
 		if !types.IsInterface(pt.Underlying()) {
 			continue
 		}
-		at, ok := pass.TypesInfo.Types[arg]
+		at, ok := s.info.Types[arg]
 		if !ok || at.Type == nil {
 			continue
 		}
 		if at.IsNil() || types.IsInterface(at.Type.Underlying()) {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "passing concrete %s to interface parameter boxes (allocates) in a hot path", at.Type.String())
+		s.reportf(arg.Pos(), "passing concrete %s to interface parameter boxes (allocates) in a hot path", at.Type.String())
 	}
 }
 
 // checkBoxingAssign flags assigning a concrete value to an interface
 // variable.
-func checkBoxingAssign(pass *framework.Pass, as *ast.AssignStmt) {
+func (s *scanner) checkBoxingAssign(as *ast.AssignStmt) {
 	if len(as.Lhs) != len(as.Rhs) {
 		return
 	}
 	for i, lhs := range as.Lhs {
-		lt, ok := pass.TypesInfo.Types[lhs]
+		lt, ok := s.info.Types[lhs]
 		if !ok || lt.Type == nil || !types.IsInterface(lt.Type.Underlying()) {
 			continue
 		}
-		rt, ok := pass.TypesInfo.Types[as.Rhs[i]]
+		rt, ok := s.info.Types[as.Rhs[i]]
 		if !ok || rt.Type == nil || rt.IsNil() || types.IsInterface(rt.Type.Underlying()) {
 			continue
 		}
-		pass.Reportf(as.Rhs[i].Pos(), "assigning concrete %s to interface boxes (allocates) in a hot path", rt.Type.String())
+		s.reportf(as.Rhs[i].Pos(), "assigning concrete %s to interface boxes (allocates) in a hot path", rt.Type.String())
 	}
+}
+
+// isDeleteIdiom matches the element-removal shape
+// append(s[:i], s[j:]...) where both arguments slice the same base
+// expression: the result can never exceed the source length, so the
+// backing store is reused and nothing allocates.
+func (s *scanner) isDeleteIdiom(call *ast.CallExpr) bool {
+	if !call.Ellipsis.IsValid() || len(call.Args) != 2 {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	src, ok := ast.Unparen(call.Args[1]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	return s.sameBase(dst.X, src.X)
+}
+
+// sameBase reports whether two expressions are the same side-effect-free
+// variable reference: an identifier or a selector chain over one.
+func (s *scanner) sameBase(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && s.info.Uses[x] != nil && s.info.Uses[x] == s.info.Uses[y]
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && s.sameBase(x.X, y.X)
+	}
+	return false
 }
 
 // isParamExpr reports whether e denotes (a slice of) a parameter or
 // receiver variable, e.g. `b` or `b[:n]`. Only direct parameter
 // identifiers qualify: appending to a field (even of the receiver) grows
 // owned state and must be reported or explicitly waived.
-func isParamExpr(pass *framework.Pass, e ast.Expr, params map[*types.Var]bool) bool {
+func (s *scanner) isParamExpr(e ast.Expr) bool {
 	for {
 		switch x := e.(type) {
 		case *ast.ParenExpr:
@@ -248,8 +404,8 @@ func isParamExpr(pass *framework.Pass, e ast.Expr, params map[*types.Var]bool) b
 		case *ast.SliceExpr:
 			e = x.X
 		case *ast.Ident:
-			if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
-				return params[v]
+			if v, ok := s.info.Uses[x].(*types.Var); ok {
+				return s.params[v]
 			}
 			return false
 		default:
@@ -259,12 +415,12 @@ func isParamExpr(pass *framework.Pass, e ast.Expr, params map[*types.Var]bool) b
 }
 
 // isBuiltin matches a direct call to the named builtin.
-func isBuiltin(pass *framework.Pass, call *ast.CallExpr, name string) bool {
+func (s *scanner) isBuiltin(call *ast.CallExpr, name string) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	b, ok := s.info.Uses[id].(*types.Builtin)
 	return ok && b.Name() == name
 }
 

@@ -1,0 +1,35 @@
+// Package hotdeep is the leaf of the hotalloc transitive-test chain: it
+// allocates, three frames below the hot root, and also hosts the shapes
+// that must stay silent at depth — the declared-cold helper, the in-place
+// deletion idiom, and an allocation reached only through panic.
+package hotdeep
+
+// Grow allocates; it is reached from the hot root via two intermediate
+// frames, so the diagnostic must carry the full chain.
+func Grow(n int) []int {
+	return make([]int, n) // want `make allocates in a hot path \(reached from //lrp:hotpath hotroot\.Hot via hotroot\.Hot -> hotmid\.Middle -> hotdeep\.Grow\)`
+}
+
+// Refill is declared cold: traversal must stop here, so its make (and
+// anything it calls) is never reported.
+//
+//lrp:coldalloc amortized refill for the transitive fixture
+func Refill() []int {
+	return make([]int, 64)
+}
+
+// Remove uses the append deletion idiom, which shifts within the existing
+// backing store and never allocates.
+func Remove(reg *Registry, i int) {
+	reg.items = append(reg.items[:i], reg.items[i+1:]...)
+}
+
+// Registry holds a slice for the deletion-idiom check.
+type Registry struct {
+	items []int
+}
+
+// Fail allocates only inside panic, which is cold by definition.
+func Fail(msg string) {
+	panic("hotdeep: " + msg)
+}

@@ -1,0 +1,27 @@
+// Package hotmid is the middle frame of the hotalloc transitive-test
+// chain: allocation-free itself, it forwards from the hot root to the
+// allocating leaf (and to the waived shapes that must stay silent).
+package hotmid
+
+import "lrp/internal/hotdeep"
+
+// Middle forwards to the leaf: the wrapper loophole the interprocedural
+// analysis exists to close.
+func Middle(reg *hotdeep.Registry, n int) []int {
+	hotdeep.Remove(reg, 0)
+	_ = hotdeep.Refill()
+	return hotdeep.Grow(n)
+}
+
+// OwnRoot is itself a hot root: traversal from other roots stops here
+// (its findings are reported against it directly, without a chain).
+//
+//lrp:hotpath
+func OwnRoot() *Registry {
+	return &Registry{} // want `&composite literal allocates in a hot path$`
+}
+
+// Registry mirrors the leaf type for the own-root check.
+type Registry struct {
+	n int
+}

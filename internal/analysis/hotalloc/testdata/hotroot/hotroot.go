@@ -1,0 +1,19 @@
+// Package hotroot is the root of the hotalloc transitive-test chain: its
+// hot function allocates nothing directly, so every diagnostic it earns
+// comes from the call graph.
+package hotroot
+
+import (
+	"lrp/internal/hotdeep"
+	"lrp/internal/hotmid"
+)
+
+// Hot is the annotated root; the allocation three frames down in
+// hotdeep.Grow is reported with this root's chain.
+//
+//lrp:hotpath
+func Hot(reg *hotdeep.Registry, n int) []int {
+	out := hotmid.Middle(reg, n)
+	_ = hotmid.OwnRoot()
+	return out
+}

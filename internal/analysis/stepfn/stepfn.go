@@ -53,15 +53,18 @@ func run(pass *framework.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		for _, lit := range stepLits(pass, f) {
+		for _, lit := range StepLiterals(pass, f) {
 			checkBody(pass, lit)
 		}
 	}
 	return nil
 }
 
-// stepLits collects every function literal in StepFn position in f.
-func stepLits(pass *framework.Pass, f *ast.File) []*ast.FuncLit {
+// StepLiterals collects every function literal in StepFn position in f —
+// passed to a StepFn parameter, returned from a StepFn result slot, or
+// assigned to a StepFn variable or field. Shared with the stepreq
+// analyzer, which verifies the request protocol of the same bodies.
+func StepLiterals(pass *framework.Pass, f *ast.File) []*ast.FuncLit {
 	var out []*ast.FuncLit
 	seen := map[*ast.FuncLit]bool{}
 	add := func(e ast.Expr) {
@@ -159,7 +162,7 @@ func checkBody(pass *framework.Pass, lit *ast.FuncLit) {
 			return true
 		}
 		recv := pass.TypesInfo.TypeOf(sel.X)
-		if !isProc(recv) {
+		if !IsProc(recv) {
 			return true
 		}
 		name := sel.Sel.Name
@@ -243,8 +246,8 @@ func isStepFn(t types.Type) bool {
 	return obj.Name() == "StepFn" && obj.Pkg() != nil && obj.Pkg().Path() == kernelPkg
 }
 
-// isProc reports whether t is kernel.Proc or a pointer to it.
-func isProc(t types.Type) bool {
+// IsProc reports whether t is kernel.Proc or a pointer to it.
+func IsProc(t types.Type) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}

@@ -44,6 +44,8 @@ func (h *Host) icmpInput(ih *pkt.IPv4Header, seg []byte) {
 
 // icmpProcess answers echo requests; everything else is counted and
 // dropped (the stack does not originate errors).
+//
+//lrp:coldalloc control-plane path: echo replies are off the benchmarked data path
 func (h *Host) icmpProcess(ih *pkt.IPv4Header, seg []byte) {
 	if len(seg) < 8 || seg[0] != 8 { // ICMP echo request
 		h.stats.ProtoDrops++

@@ -195,6 +195,8 @@ func (h *Host) syncListenChannel(s *socket.Socket) {
 // APP: the asynchronous protocol processing thread (LRP).
 
 // queueChannelWork asks the APP thread to drain a TCP socket's channel.
+//
+//lrp:coldalloc amortized: appQ is drained in place and keeps its capacity across APP rounds
 func (h *Host) queueChannelWork(s *socket.Socket) {
 	h.appQ = append(h.appQ, appWork{sock: s})
 	h.appWq.WakeupAll()

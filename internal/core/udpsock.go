@@ -94,7 +94,7 @@ func (h *Host) Send(p *kernel.Proc, s *socket.Socket, data []byte) error {
 // ipOutput fragments (charging per extra fragment) and queues packets on
 // the interface.
 func (h *Host) ipOutput(p *kernel.Proc, s *socket.Socket, b []byte) error {
-	frags := [][]byte{b}
+	frags := [][]byte{b} //lrp:nolint hotalloc -- single-element scratch slice that does not escape: sendFrags only ranges over it
 	if len(b) > h.MTU {
 		frags = ipv4.Fragment(b, h.MTU)
 		if frags == nil {

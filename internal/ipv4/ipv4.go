@@ -23,6 +23,8 @@ const ReassemblyTTL = 30 * 1000 * 1000
 // Fragment splits an encoded IPv4 packet into fragments that fit mtu.
 // If the packet already fits, it is returned unchanged as the only
 // element. The DF bit is honoured: a too-big DF packet returns nil.
+//
+//lrp:coldalloc fragmentation allocates the fragment set by design; the ATM MTU (9180) keeps it off the common path
 func Fragment(b []byte, mtu int) [][]byte {
 	if len(b) <= mtu {
 		return [][]byte{b}
@@ -108,6 +110,8 @@ func (r *Reassembler) Pending() int { return len(r.parts) }
 // Input accepts one fragment (the full encoded IP packet). If the datagram
 // is now complete it returns the reassembled packet (a fresh buffer with a
 // rebuilt header) and true. Non-fragmented packets pass through untouched.
+//
+//lrp:coldalloc reassembly state and the rebuilt datagram are per-fragmented-packet allocations; fragmented traffic is the slow path
 func (r *Reassembler) Input(b []byte, now int64) ([]byte, bool) {
 	ih, hlen, err := pkt.DecodeIPv4(b)
 	if err != nil {

@@ -397,6 +397,8 @@ func (k *Kernel) Shutdown() {
 }
 
 // addRunnable appends p to the run queue with a fresh FIFO sequence.
+//
+//lrp:coldalloc amortized: run-queue capacity is retained across scheduling rounds (removal shifts in place)
 func (k *Kernel) addRunnable(p *Proc) {
 	p.seq = k.seq
 	k.seq++

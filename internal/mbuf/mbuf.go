@@ -368,6 +368,8 @@ func (q *Queue) Full() bool { return q.Limit > 0 && q.count >= q.Limit }
 func (q *Queue) Drops() uint64 { return q.drops }
 
 // grow doubles the ring, unwrapping the live entries to the front.
+//
+//lrp:coldalloc amortized geometric growth: at most log2(peak) allocations per queue lifetime
 func (q *Queue) grow() {
 	n := len(q.ring) * 2
 	if n < 8 {

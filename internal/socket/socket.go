@@ -53,6 +53,8 @@ func (q *DgramQueue) Full() bool { return q.Limit > 0 && len(q.q) >= q.Limit }
 func (q *DgramQueue) Drops() uint64 { return q.drops }
 
 // Enqueue appends d; it reports false (and counts a drop) if full.
+//
+//lrp:coldalloc amortized: the queue keeps its capacity until it drains past the trim threshold
 func (q *DgramQueue) Enqueue(d Datagram) bool {
 	if q.Full() {
 		q.drops++
@@ -104,6 +106,8 @@ func (b *StreamBuf) Space() int {
 }
 
 // Append copies in as much of p as fits and returns the number accepted.
+//
+//lrp:coldalloc amortized growth bounded by Limit: the socket buffer reaches steady-state capacity and stops allocating
 func (b *StreamBuf) Append(p []byte) int {
 	n := len(p)
 	if sp := b.Space(); n > sp {

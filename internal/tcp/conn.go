@@ -378,6 +378,8 @@ func (c *Conn) Abort() {
 }
 
 // toClosed finalizes teardown.
+//
+//lrp:coldalloc runs once per connection lifetime, never per segment
 func (c *Conn) toClosed() {
 	if c.State == Closed && !c.listening {
 		return

@@ -149,7 +149,7 @@ func (c *Conn) ackInput(h *pkt.TCPHeader) {
 			c.State = Established
 			if p := c.parent; p != nil {
 				p.synCount--
-				p.acceptQ = append(p.acceptQ, c)
+				p.acceptQ = append(p.acceptQ, c) //lrp:coldalloc once per accepted connection, bounded by the listen backlog
 				p.notify(EvAcceptable)
 			}
 			c.notify(EvEstablished)
@@ -255,8 +255,8 @@ func (c *Conn) dataInput(h *pkt.TCPHeader, payload []byte) {
 		// trigger fast retransmit at the sender.
 		c.Stats.OOOSegs++
 		if len(c.ooo) < oooLimit {
-			cp := append([]byte(nil), payload...)
-			c.ooo = append(c.ooo, oooSeg{seq: seq, data: cp, fin: fin})
+			cp := append([]byte(nil), payload...)                       //lrp:coldalloc loss-recovery path: the segment must outlive its mbuf
+			c.ooo = append(c.ooo, oooSeg{seq: seq, data: cp, fin: fin}) //lrp:coldalloc loss-recovery path, bounded by oooLimit
 		}
 		c.sendAck()
 		return

@@ -87,7 +87,7 @@ func (l *Log) Add(k Kind, format string, args ...any) {
 	}
 	e := Event{At: l.now(), Kind: k, Detail: fmt.Sprintf(format, args...)}
 	if len(l.events) < cap(l.events) {
-		l.events = append(l.events, e)
+		l.events = append(l.events, e) //lrp:nolint hotalloc -- guarded by len < cap: appends into preallocated capacity, never grows
 		return
 	}
 	// Ring: overwrite oldest.
