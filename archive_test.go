@@ -3,7 +3,8 @@ package lrp_test
 // Guards the checked-in archives: results/lrpbench_full.{txt,json}
 // (the canonical eight-experiment suite),
 // results/lrpbench_faults.{txt,json} (the fault robustness curves),
-// and results/lrpbench_smp.{txt,json} (the multi-core scaling sweep).
+// results/lrpbench_smp.{txt,json} (the multi-core scaling sweep), and
+// results/lrpbench_wan.{txt,json} (the internet-scale topology sweep).
 // The JSON must decode under the current schema and satisfy every
 // shape assertion, and — because results are a pure function of config
 // and seed — an in-process re-run must reproduce both files
@@ -12,6 +13,7 @@ package lrp_test
 //	go run ./cmd/lrpbench -out results/lrpbench_full.json all > results/lrpbench_full.txt
 //	go run ./cmd/lrpbench -out results/lrpbench_faults.json faults > results/lrpbench_faults.txt
 //	go run ./cmd/lrpbench -out results/lrpbench_smp.json smp > results/lrpbench_smp.txt
+//	go run ./cmd/lrpbench -out results/lrpbench_wan.json wan > results/lrpbench_wan.txt
 //
 // whenever a change legitimately moves the numbers.
 
@@ -76,6 +78,17 @@ func TestSMPArchive(t *testing.T) {
 	}
 }
 
+func TestWANArchive(t *testing.T) {
+	s := loadArchive(t, "results/lrpbench_wan.json")
+	e := s.Find("wan")
+	if e == nil {
+		t.Fatal("archived wan suite carries no wan experiment")
+	}
+	for _, v := range results.CheckWAN(e.WAN) {
+		t.Errorf("archived wan run violates a shape assertion: %s", v)
+	}
+}
+
 // rerunArchive reruns the named experiments at full length in-process
 // and compares the rendered text and encoded JSON against the
 // checked-in archive pair, byte for byte. This is the determinism
@@ -128,4 +141,8 @@ func TestFaultsArchiveByteIdentical(t *testing.T) {
 
 func TestSMPArchiveByteIdentical(t *testing.T) {
 	rerunArchive(t, "results/lrpbench_smp.json", "results/lrpbench_smp.txt", "smp")
+}
+
+func TestWANArchiveByteIdentical(t *testing.T) {
+	rerunArchive(t, "results/lrpbench_wan.json", "results/lrpbench_wan.txt", "wan")
 }

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] \
-//	         [-cpuprofile FILE] [-memprofile FILE] \
-//	         table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|smp|all|check
+//	         [-faultplan FILE] [-cpuprofile FILE] [-memprofile FILE] \
+//	         table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|smp|wan|all|check
 //
 // Each experiment prints the same rows or series the paper reports;
 // EXPERIMENTS.md records a side-by-side comparison with the published
@@ -37,6 +37,20 @@
 // RSS multi-queue receive for BSD, SOFT-LRP, and NI-LRP across 1, 2,
 // and 4 simulated CPUs. Like faults, it is standalone and not part of
 // `all`.
+//
+// The wan verb runs the internet-scale sweep: a million modeled clients
+// (aggregated into a handful of stackless generator procs per topology,
+// internal/pop) offer open-loop load through multi-hop chains and
+// fan-in trees (internal/topo) whose transit gateways run the same
+// kernel architecture as the server, with two cells additionally
+// impaired per hop by shipped scenarios (scenarios/*.json). Like faults
+// and smp, it is standalone and not part of `all`.
+//
+// -faultplan FILE loads a fault-injection plan (the scenarios/*.json
+// format) and applies it network-wide to every simulation world the
+// requested experiments build: any experiment under any impairment.
+// Runs with a plan are still fully deterministic, but do not compare
+// them against the archived clean outputs.
 package main
 
 import (
@@ -53,6 +67,7 @@ import (
 	"time"
 
 	"lrp/internal/exp"
+	"lrp/internal/fault"
 	"lrp/internal/render"
 	"lrp/internal/results"
 )
@@ -72,9 +87,10 @@ func run() int {
 	outPath := flag.String("out", "", "also write the JSON result suite to FILE")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 	memProfile := flag.String("memprofile", "", "write a heap profile to FILE when the run completes")
+	faultPlan := flag.String("faultplan", "", "apply a fault plan (scenarios/*.json format) network-wide to every world")
 	flag.BoolVar(&doPlot, "plot", false, "render ASCII charts for the figures")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|smp|all|check\n")
+		fmt.Fprintf(os.Stderr, "usage: lrpbench [-quick] [-seed N] [-v] [-plot] [-parallel N] [-json] [-out FILE] [-faultplan FILE] [-cpuprofile FILE] [-memprofile FILE] table1|fig3|mlfrr|fig4|table2|fig5|ablations|media|faults|smp|wan|all|check\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -113,6 +129,17 @@ func run() int {
 	if opt.Parallel <= 0 {
 		opt.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if *faultPlan != "" {
+		data, err := os.ReadFile(*faultPlan)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := fault.ParsePlan(data)
+		if err != nil {
+			fatal(err)
+		}
+		opt.FaultPlan = &plan
+	}
 	if *verbose {
 		// Progress and the timing callbacks arrive from concurrent
 		// experiment drivers and sweep workers; serialize them.
@@ -142,10 +169,11 @@ func run() int {
 	case "all":
 		names = exp.Experiments
 	case "check":
-		// The canonical eight plus the standalone smp sweep: CheckSuite
-		// holds the scaling curves to their shapes whenever they are
-		// present, and check is where every assertion should run.
-		names = append(append([]string{}, exp.Experiments...), "smp")
+		// The canonical eight plus the standalone smp and wan sweeps:
+		// CheckSuite holds the scaling and internet-scale curves to their
+		// shapes whenever they are present, and check is where every
+		// assertion should run.
+		names = append(append([]string{}, exp.Experiments...), "smp", "wan")
 		check = true
 	default:
 		names = []string{which}

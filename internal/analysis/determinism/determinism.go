@@ -69,6 +69,8 @@ var simCore = map[string]bool{
 	"lrp/internal/socket": true,
 	"lrp/internal/fault":  true,
 	"lrp/internal/smp":    true,
+	"lrp/internal/topo":   true,
+	"lrp/internal/pop":    true,
 }
 
 // concurrencyAllowed lists packages exempt from the goroutine/sync rules.

@@ -70,7 +70,7 @@ func CorruptFlood(opt Options) []AblationRow {
 // corruptFloodRun measures one corrupt-flood world: the victim's CPU
 // share while a checksum-corrupt blast targets a stalled receiver.
 func corruptFloodRun(sys System, rate int64, dur sim.Time, opt Options) float64 {
-	r := newRig(sys, 2)
+	r := newRig(sys, 2, opt)
 	server := r.hosts[1]
 	victim := server.K.Spawn("victim", 0, func(p *kernel.Proc) {
 		for {
@@ -113,6 +113,7 @@ func IdleThreadLatency(opt Options) []AblationRow {
 	run := func(noIdle bool) float64 {
 		eng := sim.NewEngine()
 		nw := netsim.New(eng)
+		opt.applyFaults(nw)
 		server := core.NewHost(eng, nw, core.Config{
 			Name: "server", Addr: AddrB, Arch: core.ArchSoftLRP, NoIdleThread: noIdle,
 		})
@@ -181,7 +182,7 @@ func EarlyDiscardContribution(opt Options) []AblationRow {
 			cm.ChannelLimit = 1 << 20
 		}
 		sys := System{Name: "SOFT-LRP", Arch: core.ArchSoftLRP, Costs: func() *core.CostModel { return cm }}
-		r := newRig(sys, 2)
+		r := newRig(sys, 2, opt)
 		defer r.shutdown()
 		server := r.hosts[1]
 		// Overloaded socket: a slow consumer flooded at 16k pkts/s.
@@ -240,6 +241,7 @@ func FilterDemuxAblation(opt Options) []AblationRow {
 		cm := core.DefaultCosts()
 		eng := sim.NewEngine()
 		nw := netsim.New(eng)
+		opt.applyFaults(nw)
 		server := core.NewHost(eng, nw, core.Config{
 			Name: "server", Addr: AddrB, Arch: core.ArchSoftLRP,
 			Costs: cm, FilterDemux: filter,

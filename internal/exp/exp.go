@@ -12,6 +12,7 @@ import (
 	"runtime/pprof"
 
 	"lrp/internal/core"
+	"lrp/internal/fault"
 	"lrp/internal/netsim"
 	"lrp/internal/pkt"
 	"lrp/internal/runner"
@@ -52,6 +53,20 @@ type Options struct {
 	// multiple goroutines.
 	ExpStart func(name string)
 	ExpDone  func(name string)
+	// FaultPlan, when non-nil, is applied network-wide to every
+	// simulation world an experiment builds (the CLI's -faultplan flag:
+	// any experiment under any named impairment scenario). Each world
+	// compiles the plan into its own pipeline — pipelines carry per-run
+	// RNG state and must never be shared across concurrent worlds.
+	FaultPlan *fault.Plan
+}
+
+// applyFaults attaches the option-level fault plan to one world's
+// network; a no-op without a plan, so archived clean runs are untouched.
+func (o Options) applyFaults(nw *netsim.Network) {
+	if o.FaultPlan != nil {
+		nw.SetFaults(fault.MustNew(*o.FaultPlan))
+	}
 }
 
 func (o Options) progress(s string) {
@@ -125,9 +140,11 @@ type rig struct {
 }
 
 // newRig builds count hosts of the given system at AddrA, AddrB, AddrC…
-func newRig(sys System, count int) *rig {
+// and applies opt's world-level settings (the CLI fault plan).
+func newRig(sys System, count int, opt Options) *rig {
 	eng := sim.NewEngine()
 	nw := netsim.New(eng)
+	opt.applyFaults(nw)
 	addrs := []pkt.Addr{AddrA, AddrB, AddrC, pkt.IP(10, 0, 0, 4)}
 	names := []string{"A", "B", "C", "D"}
 	r := &rig{eng: eng, nw: nw}

@@ -210,7 +210,7 @@ func Faults(opt Options) []FaultCurve {
 // ping-pong RTT alongside it, and the CPU share a competing compute
 // process keeps, all over one measurement window.
 func udpFaultPoint(sys System, sev float64, install func(*rig, float64, uint64), seed uint64, opt Options) FaultPoint {
-	r := newRig(sys, 3)
+	r := newRig(sys, 3, opt)
 	defer r.shutdown()
 	server := r.hosts[1]
 	if sev != 0 && install != nil {
@@ -319,7 +319,7 @@ func tcpReorderCurve(opt Options) FaultCurve {
 
 // tcpFaultPoint measures one TCP-vs-reordering cell.
 func tcpFaultPoint(sys System, delayUs int64, seed uint64, opt Options) FaultPoint {
-	r := newRig(sys, 2)
+	r := newRig(sys, 2, opt)
 	defer r.shutdown()
 	if delayUs > 0 {
 		if err := r.nw.SetPortFaults(AddrB, fault.MustNew(fault.ReorderPlan(seed, 0.1, delayUs))); err != nil {

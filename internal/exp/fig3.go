@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 
+	"lrp/internal/core"
+
 	"lrp/internal/app"
 	"lrp/internal/results"
 	"lrp/internal/runner"
@@ -55,7 +57,7 @@ func Fig3(opt Options) []Fig3Series {
 // fig3Run measures delivered throughput and whether any packets were
 // dropped during the measurement window (for the MLFRR analysis).
 func fig3Run(sys System, rate int64, opt Options) (delivered float64, dropsInWindow uint64) {
-	r := newRig(sys, 2)
+	r := newRig(sys, 2, opt)
 	defer r.shutdown()
 	server := r.hosts[1]
 
@@ -92,10 +94,12 @@ func fig3Run(sys System, rate int64, opt Options) (delivered float64, dropsInWin
 }
 
 // totalDrops sums every drop location on the server host.
-func totalDrops(r *rig) uint64 {
-	server := r.hosts[1]
-	st := server.Stats()
-	ns := server.NIC.Stats()
+func totalDrops(r *rig) uint64 { return hostDrops(r.hosts[1]) }
+
+// hostDrops sums every drop location on one host.
+func hostDrops(h *core.Host) uint64 {
+	st := h.Stats()
+	ns := h.NIC.Stats()
 	return st.IPQDrops + st.ChannelDrops + st.EarlyDrops + st.SockQDrops +
 		st.NoMatchDrops + st.MalformedDrops + st.ProtoDrops + st.DisabledDrops +
 		ns.RxRingDrops + ns.NICDrops

@@ -52,7 +52,7 @@ func Fig4(opt Options) []Fig4Series {
 }
 
 func fig4Run(sys System, bgRate int64, opt Options) (float64, int) {
-	r := newRig(sys, 3)
+	r := newRig(sys, 3, opt)
 	defer r.shutdown()
 	hostA, hostB := r.hosts[0], r.hosts[1]
 

@@ -58,7 +58,7 @@ func Fig5(opt Options) []Fig5Series {
 }
 
 func fig5Run(sys System, synRate int64, opt Options) float64 {
-	r := newRig3TimeWait(sys)
+	r := newRig3TimeWait(sys, opt)
 	defer r.shutdown()
 	server, clientA, clientC := r.hosts[1], r.hosts[0], r.hosts[2]
 	_ = clientC
@@ -122,12 +122,12 @@ func fig5Run(sys System, synRate int64, opt Options) float64 {
 // PCB lookup enabled so LRP gains no advantage from its cheaper demux
 // ("the LRP system performed a redundant PCB lookup to eliminate any bias
 // due to the greater efficiency of the early demultiplexing in LRP").
-func newRig3TimeWait(sys System) *rig {
+func newRig3TimeWait(sys System, opt Options) *rig {
 	costs := func() *core.CostModel {
 		cm := sys.Costs()
 		cm.TimeWaitDur = 500 * sim.Millisecond
 		cm.RedundantPCBLookup = true
 		return cm
 	}
-	return newRig(System{Name: sys.Name, Arch: sys.Arch, Costs: costs}, 3)
+	return newRig(System{Name: sys.Name, Arch: sys.Arch, Costs: costs}, 3, opt)
 }

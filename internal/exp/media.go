@@ -30,7 +30,7 @@ func MediaJitter(opt Options) []MediaRow {
 }
 
 func mediaRun(sys System, bgRate int64, opt Options) MediaRow {
-	r := newRig(sys, 3)
+	r := newRig(sys, 3, opt)
 	defer r.shutdown()
 	server := r.hosts[1]
 

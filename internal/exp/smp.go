@@ -143,6 +143,7 @@ func SMP(opt Options) []SMPSeries {
 func smpPoint(sys System, multi bool, cores int, opt Options) SMPPoint {
 	eng := sim.NewEngine()
 	nw := netsim.New(eng)
+	opt.applyFaults(nw)
 	client := core.NewHost(eng, nw, core.Config{
 		Name: "A", Addr: AddrA, Arch: sys.Arch, Costs: sys.Costs(),
 	})

@@ -48,6 +48,8 @@ func RunExperiment(name string, opt Options) (results.Experiment, error) {
 			e.Faults = Faults(opt)
 		case "smp":
 			e.SMP = SMP(opt)
+		case "wan":
+			e.WAN = WAN(opt)
 		default:
 			err = fmt.Errorf("exp: unknown experiment %q", name)
 		}

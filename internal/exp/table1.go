@@ -53,7 +53,7 @@ func Table1(opt Options) []Table1Row {
 
 // table1Latency ping-pongs a 1-byte message (paper: 10,000 iterations).
 func table1Latency(sys System, opt Options) float64 {
-	r := newRig(sys, 2)
+	r := newRig(sys, 2, opt)
 	defer r.shutdown()
 	iters := 2000
 	if opt.Quick {
@@ -71,14 +71,19 @@ func table1Latency(sys System, opt Options) float64 {
 	cli.Start()
 	r.eng.RunFor(sim.Time(iters+10) * 10 * sim.Millisecond)
 	if !cli.Done {
-		panic(fmt.Sprintf("table1 latency: client incomplete (%d/%d)", cli.RTT.Count(), iters))
+		// On a clean network UDP ping-pong never loses a probe, so an
+		// incomplete run is a simulator bug. Under a -faultplan the plan
+		// may legitimately eat probes; report the mean of what completed.
+		if opt.FaultPlan == nil {
+			panic(fmt.Sprintf("table1 latency: client incomplete (%d/%d)", cli.RTT.Count(), iters))
+		}
 	}
 	return cli.RTT.Mean()
 }
 
 // table1UDP runs the sliding-window UDP throughput test.
 func table1UDP(sys System, opt Options) float64 {
-	r := newRig(sys, 2)
+	r := newRig(sys, 2, opt)
 	defer r.shutdown()
 	measure := 4 * sim.Second
 	warm := sim.Second
@@ -103,7 +108,7 @@ func table1UDP(sys System, opt Options) float64 {
 
 // table1TCP transfers 24 MB with 32 KB buffers.
 func table1TCP(sys System, opt Options) float64 {
-	r := newRig(sys, 2)
+	r := newRig(sys, 2, opt)
 	defer r.shutdown()
 	total := 24 << 20
 	if opt.Quick {
@@ -119,7 +124,12 @@ func table1TCP(sys System, opt Options) float64 {
 	x.Start()
 	r.eng.RunFor(120 * sim.Second)
 	if !x.Done {
-		panic(fmt.Sprintf("table1 tcp: transfer incomplete (%d/%d bytes)", x.Received, total))
+		// A clean-network transfer always completes; under a -faultplan a
+		// stalled transfer is the plan's doing, and ThroughputMbps
+		// reports 0 for it.
+		if opt.FaultPlan == nil {
+			panic(fmt.Sprintf("table1 tcp: transfer incomplete (%d/%d bytes)", x.Received, total))
+		}
 	}
 	return x.ThroughputMbps()
 }

@@ -48,7 +48,7 @@ func Table2(opt Options) []Table2Row {
 }
 
 func table2Run(sys System, workload string, perCall, interval int64, opt Options) Table2Row {
-	r := newRig(sys, 2)
+	r := newRig(sys, 2, opt)
 	defer r.shutdown()
 	server, client := r.hosts[1], r.hosts[0]
 

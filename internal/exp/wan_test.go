@@ -1,0 +1,59 @@
+package exp
+
+// Shape and determinism regression tests for the internet-scale WAN
+// sweep. The shape thresholds live in results.CheckWAN, so the quick
+// sweep here, the full archived run, and `lrpbench check` on a
+// wan-carrying suite are all held to the same predicates.
+
+import (
+	"bytes"
+	"testing"
+
+	"lrp/internal/race"
+	"lrp/internal/results"
+)
+
+func TestWANShapeChecks(t *testing.T) {
+	series := WAN(Options{Quick: true, Seed: 1, Parallel: 8})
+	want := len(wanCellList()) * len(wanSystems())
+	if len(series) != want {
+		t.Fatalf("%d series, want one per (cell, system) = %d", len(series), want)
+	}
+	for _, v := range results.CheckWAN(series) {
+		t.Errorf("quick wan sweep violates a shape assertion: %s", v)
+	}
+}
+
+func TestWANDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three quick wan sweeps; skipped in -short")
+	}
+	if race.Enabled {
+		// Byte-identity of repeated runs is a pure-value property; the
+		// race pass already drives the sweep via TestWANShapeChecks.
+		t.Skip("three quick wan sweeps; too slow under the race detector")
+	}
+	a := marshal(t, WAN(Options{Quick: true, Seed: 7, Parallel: 8}))
+	b := marshal(t, WAN(Options{Quick: true, Seed: 7, Parallel: 8}))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed diverged between runs (%d vs %d bytes)", len(a), len(b))
+	}
+	c := marshal(t, WAN(Options{Quick: true, Seed: 7, Parallel: 3}))
+	if !bytes.Equal(a, c) {
+		t.Fatalf("parallelism changed the results (%d vs %d bytes)", len(a), len(c))
+	}
+}
+
+func TestWANSeedMoves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two quick wan sweeps; skipped in -short")
+	}
+	if race.Enabled {
+		t.Skip("two quick wan sweeps; too slow under the race detector")
+	}
+	a := marshal(t, WAN(Options{Quick: true, Seed: 7, Parallel: 8}))
+	b := marshal(t, WAN(Options{Quick: true, Seed: 8, Parallel: 8}))
+	if bytes.Equal(a, b) {
+		t.Fatal("seeds 7 and 8 produced byte-identical sweeps")
+	}
+}

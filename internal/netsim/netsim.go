@@ -40,6 +40,15 @@ type port struct {
 	// faults, when non-nil, impairs traffic delivered to this port, on
 	// top of the network-wide pipeline.
 	faults *fault.Pipeline
+	// routes are this port's next-hop entries: traffic transmitted (or
+	// injected) from this attachment for a matching destination is handed
+	// to the attached host at the entry's gateway address, even when the
+	// destination is itself attached. This is what makes multi-hop
+	// topologies expressible on one switch fabric: each segment of a
+	// forwarding chain is a per-port route pointing at the next hop,
+	// rather than a (single, global) destination route. Nil until the
+	// first AddRouteFrom.
+	routes map[pkt.Addr]pkt.Addr
 }
 
 // Network is the simulated LAN.
@@ -93,7 +102,7 @@ func (nw *Network) Attach(n *nic.NIC, addr pkt.Addr, bandwidthBps int64, propDel
 		st := nw.serializationTime(p, m.Len())
 		nw.Eng.After(st, func() {
 			done()
-			nw.route(m.Data, m, p.propDelay)
+			nw.route(p, m.Data, m, p.propDelay)
 		})
 	}
 }
@@ -114,10 +123,15 @@ func (nw *Network) serializationTime(p *port, size int) int64 {
 	return t
 }
 
-// route looks up the destination IP and schedules delivery. m, when
-// non-nil, is the in-transfer mbuf whose storage backs b; route owns one
-// wire reference to it and releases it on every non-delivery path.
-func (nw *Network) route(b []byte, m *mbuf.Mbuf, propDelay int64) {
+// route looks up the destination IP and schedules delivery. from, when
+// non-nil, is the attachment the packet left through: its per-port
+// next-hop routes are consulted first and take precedence over direct
+// attachment (a point-to-point uplink forwards everything to its
+// gateway, even traffic for hosts that happen to share the fabric).
+// m, when non-nil, is the in-transfer mbuf whose storage backs b; route
+// owns one wire reference to it and releases it on every non-delivery
+// path.
+func (nw *Network) route(from *port, b []byte, m *mbuf.Mbuf, propDelay int64) {
 	ih, _, err := pkt.DecodeIPv4(b)
 	if err != nil {
 		nw.stats.NoRoute++
@@ -143,6 +157,17 @@ func (nw *Network) route(b []byte, m *mbuf.Mbuf, propDelay int64) {
 			m.EndTransfer() // no receivers
 		}
 		return
+	}
+	if from != nil && from.routes != nil {
+		if via, ok := from.routes[ih.Dst]; ok {
+			if hop, hok := nw.ports[via]; hok {
+				nw.deliverTo(hop, b, m, propDelay)
+				return
+			}
+			nw.stats.NoRoute++
+			m.EndTransfer()
+			return
+		}
 	}
 	dst, ok := nw.ports[ih.Dst]
 	if !ok {
@@ -275,13 +300,56 @@ func (nw *Network) AddRoute(dst, via pkt.Addr) {
 	nw.routes[dst] = via
 }
 
+// AddRouteFrom installs a next-hop route on the attachment at from:
+// traffic leaving that port for dst is delivered to the attached host at
+// via (which must forward it onward). Per-port routes take precedence
+// over direct attachment, so a chain A -> G1 -> G2 -> B is expressed as
+// a route toward B on each upstream port even though B shares the
+// fabric. Both from and via must already be attached.
+func (nw *Network) AddRouteFrom(from, dst, via pkt.Addr) error {
+	p, ok := nw.ports[from]
+	if !ok {
+		return fmt.Errorf("netsim: no attachment at %v to route from", from)
+	}
+	if _, ok := nw.ports[via]; !ok {
+		return fmt.Errorf("netsim: next hop %v for %v is not attached", via, dst)
+	}
+	if p.routes == nil {
+		p.routes = make(map[pkt.Addr]pkt.Addr)
+	}
+	p.routes[dst] = via
+	return nil
+}
+
+// NextHopFrom reports where a packet for dst leaving the attachment at
+// from would be delivered: the per-port next hop, the direct attachment,
+// or the network-wide gateway route, in that order of precedence. ok is
+// false when the packet would be dropped with NoRoute. Topology builders
+// use it to validate reachability without sending traffic.
+func (nw *Network) NextHopFrom(from, dst pkt.Addr) (pkt.Addr, bool) {
+	if p, ok := nw.ports[from]; ok && p.routes != nil {
+		if via, ok := p.routes[dst]; ok {
+			_, attached := nw.ports[via]
+			return via, attached
+		}
+	}
+	if _, ok := nw.ports[dst]; ok {
+		return dst, true
+	}
+	if via, ok := nw.routes[dst]; ok {
+		_, attached := nw.ports[via]
+		return via, attached
+	}
+	return pkt.Addr{}, false
+}
+
 // Inject places a raw packet on the wire toward its IP destination, as if
 // sent by an infinitely fast host. Traffic generators for overload
 // experiments use this; it bypasses any sender-side kernel entirely (the
 // paper used an in-kernel packet source for the same reason).
 func (nw *Network) Inject(b []byte) {
 	nw.stats.Injected++
-	nw.route(b, nil, 0)
+	nw.route(nil, b, nil, 0)
 }
 
 // InjectMbuf injects a packet built in pool-owned mbuf storage. The mbuf's
@@ -293,7 +361,35 @@ func (nw *Network) Inject(b []byte) {
 func (nw *Network) InjectMbuf(m *mbuf.Mbuf) {
 	m.BeginTransfer()
 	nw.stats.Injected++
-	nw.route(m.Data, m, 0)
+	nw.route(nil, m.Data, m, 0)
+}
+
+// InjectMbufFrom is InjectMbuf as if transmitted by the host attached at
+// from: the packet observes that port's next-hop routes and propagation
+// delay, so an aggregated generator co-located with an edge host sends
+// into the topology the way the host itself would (minus sender-side
+// kernel work and link serialization, like every injector).
+//
+//lrp:hotpath
+func (nw *Network) InjectMbufFrom(from pkt.Addr, m *mbuf.Mbuf) {
+	p := nw.ports[from]
+	m.BeginTransfer()
+	nw.stats.Injected++
+	if p == nil {
+		nw.route(nil, m.Data, m, 0)
+		return
+	}
+	nw.route(p, m.Data, m, p.propDelay)
+}
+
+// InjectFrom is Inject observing the attachment at from, as InjectMbufFrom.
+func (nw *Network) InjectFrom(from pkt.Addr, b []byte) {
+	nw.stats.Injected++
+	if p := nw.ports[from]; p != nil {
+		nw.route(p, b, nil, p.propDelay)
+		return
+	}
+	nw.route(nil, b, nil, 0)
 }
 
 // LookupNIC returns the NIC attached at addr, if any.

@@ -55,6 +55,8 @@ func Experiment(w io.Writer, e results.Experiment, o Options) {
 		printFaults(w, e.Faults)
 	case "smp":
 		printSMP(w, e.SMP)
+	case "wan":
+		printWAN(w, e.WAN)
 	}
 }
 
@@ -204,6 +206,23 @@ func printSMP(w io.Writer, series []results.SMPSeries) {
 			}
 			fmt.Fprintf(w, "%-10s %-8s %6d %12d %14.0f %8s %8d %8d %8d\n",
 				s.System, s.Queues, p.Cores, p.OfferedPps, p.GoodputPps, p99, p.IPIs, p.Steals, p.RemoteWakes)
+		}
+	}
+}
+
+func printWAN(w io.Writer, series []results.WANSeries) {
+	fmt.Fprintln(w, "Internet-scale sweep: aggregated client populations through multi-hop topologies")
+	fmt.Fprintln(w, "(gateways run the same kernel as the server; eager processing livelocks per hop)")
+	fmt.Fprintf(w, "%-24s %-10s %8s %6s %10s %14s %10s %10s %10s\n",
+		"Topology", "System", "clients", "procs", "offered", "goodput pkt/s", "srv drops", "gw drops", "forwarded")
+	for _, s := range series {
+		name := s.Topology
+		if s.Impaired != "" {
+			name += "+" + s.Impaired
+		}
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%-24s %-10s %8d %6d %10d %14.0f %10d %10d %10d\n",
+				name, s.System, s.Clients, s.Procs, p.OfferedPps, p.GoodputPps, p.ServerDrops, p.GwDrops, p.Forwarded)
 		}
 	}
 }

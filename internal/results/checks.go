@@ -85,6 +85,9 @@ func CheckSuite(s *Suite) []Violation {
 	if e := s.Find("smp"); e != nil {
 		out = append(out, CheckSMP(e.SMP)...)
 	}
+	if e := s.Find("wan"); e != nil {
+		out = append(out, CheckWAN(e.WAN)...)
+	}
 	return out
 }
 
@@ -805,4 +808,141 @@ func checkSMPContrast(c *checker, byMode map[string]map[string]SMPSeries) {
 			"SOFT-LRP multi-queue p99 %dµs above single-queue %dµs at %d cores",
 			softM.P99Us, softS.P99Us, softM.Cores)
 	}
+}
+
+// CheckWAN: the paper's Fig 5 story holds at internet fan-in scale.
+// Across every topology — direct LAN, a forwarding chain, a fan-in tree
+// whose gateways run the same architecture as the server — BSD goodput
+// collapses past saturation while LRP holds, with an aggregated
+// population of at least a million modeled clients emitted by a bounded
+// number of stackless procs.
+func CheckWAN(series []WANSeries) []Violation {
+	c := &checker{exp: "wan"}
+	type cellKey struct{ topo, impaired string }
+	cells := map[cellKey]map[string]WANSeries{}
+	var order []cellKey
+	topos := map[string]bool{}
+	for _, s := range series {
+		k := cellKey{s.Topology, s.Impaired}
+		if cells[k] == nil {
+			cells[k] = map[string]WANSeries{}
+			order = append(order, k)
+		}
+		cells[k][s.System] = s
+		if s.Impaired == "" {
+			topos[s.Topology] = true
+		}
+	}
+	if len(topos) < 3 {
+		c.failf("topologies", "%d clean topologies, want at least 3 (direct, chain, fan-in)", len(topos))
+		return c.out
+	}
+	ok := true
+	for _, k := range order {
+		cell := cells[k]
+		name := k.topo
+		if k.impaired != "" {
+			name += "+" + k.impaired
+		}
+		for _, want := range []string{"4.4 BSD", "NI-LRP", "SOFT-LRP"} {
+			s, found := cell[want]
+			if !found {
+				c.failf("systems", "%s: system %q missing", name, want)
+				ok = false
+				continue
+			}
+			if !checkWANShape(c, name, s) {
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		return c.out
+	}
+	for _, k := range order {
+		cell := cells[k]
+		name := k.topo
+		if k.impaired != "" {
+			name += "+" + k.impaired
+		}
+		bsd, ni, soft := cell["4.4 BSD"], cell["NI-LRP"], cell["SOFT-LRP"]
+		for i := range bsd.Points {
+			c.assert(bsd.Points[i].OfferedPps == ni.Points[i].OfferedPps &&
+				bsd.Points[i].OfferedPps == soft.Points[i].OfferedPps, "axis-aligned",
+				"%s: offered axes diverge at point %d", name, i)
+		}
+		bLast := bsd.Points[len(bsd.Points)-1].GoodputPps
+		for _, lrp := range []WANSeries{ni, soft} {
+			pts := lrp.Points
+			lLast := pts[len(pts)-1].GoodputPps
+			c.assert(lLast >= bLast, "lrp-beats-bsd",
+				"%s: %s final goodput %.0f below BSD's %.0f", name, lrp.System, lLast, bLast)
+			if k.impaired != "" {
+				continue // impaired cells: ordering only, goodput is loss-shaped
+			}
+			// No collapse: every point holds a floor against the peak seen
+			// so far, and the final (most-overloaded) point holds one
+			// against the overall peak. SOFT-LRP declines gently past
+			// saturation (per-packet demux still costs softint cycles);
+			// BSD falls off a cliff.
+			peak := 0.0
+			for _, p := range pts {
+				if p.GoodputPps > peak {
+					peak = p.GoodputPps
+				}
+				c.assert(p.GoodputPps >= 0.55*peak, "lrp-no-collapse",
+					"%s: %s goodput %.0f at offered %d under 55%% of peak %.0f",
+					name, lrp.System, p.GoodputPps, p.OfferedPps, peak)
+			}
+			c.assert(lLast >= 0.6*peak, "lrp-holds",
+				"%s: %s final goodput %.0f vs peak %.0f; LRP must hold under overload",
+				name, lrp.System, lLast, peak)
+		}
+		if k.impaired == "" {
+			bPeak := 0.0
+			for _, p := range bsd.Points {
+				if p.GoodputPps > bPeak {
+					bPeak = p.GoodputPps
+				}
+			}
+			c.assert(bLast <= 0.5*bPeak, "bsd-collapses",
+				"%s: BSD final goodput %.0f vs peak %.0f; eager processing should livelock past saturation",
+				name, bLast, bPeak)
+		}
+	}
+	return c.out
+}
+
+// checkWANShape verifies one series' structure: an ascending offered
+// axis with enough points to see a cliff, a population of internet
+// scale, and the aggregation contract (procs, not clients, bounded).
+func checkWANShape(c *checker, cell string, s WANSeries) bool {
+	name := cell + "/" + s.System
+	ok := true
+	if len(s.Points) < 3 {
+		c.failf("points", "%s: %d offered-load points, want at least 3", name, len(s.Points))
+		return false
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].OfferedPps <= s.Points[i-1].OfferedPps {
+			c.failf("ascending", "%s: offered axis not ascending at point %d", name, i)
+			return false
+		}
+	}
+	if s.Clients < 1_000_000 {
+		c.failf("population", "%s: %d modeled clients, want at least 1,000,000", name, s.Clients)
+		ok = false
+	}
+	if s.Procs < 1 || s.Procs > 1024 {
+		c.failf("aggregation", "%s: %d generator procs for %d clients; the population must aggregate into at most 1024 procs",
+			name, s.Procs, s.Clients)
+		ok = false
+	}
+	for _, p := range s.Points {
+		if p.GoodputPps <= 0 {
+			c.failf("goodput", "%s: no packets consumed at offered %d", name, p.OfferedPps)
+			ok = false
+		}
+	}
+	return ok
 }

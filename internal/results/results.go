@@ -153,6 +153,32 @@ type SMPSeries struct {
 	Points []SMPPoint `json:"points"`
 }
 
+// WANPoint is one offered-load cell of an internet-scale sweep: the
+// aggregate request rate offered by the modeled client population, the
+// rate the server application consumed, and the drops at the server and
+// summed over the topology's transit gateways.
+type WANPoint struct {
+	OfferedPps  int64   `json:"offered_pps"`  // population aggregate rate, pkts/s
+	GoodputPps  float64 `json:"goodput_pps"`  // packets consumed by the server process per second
+	ServerDrops uint64  `json:"server_drops"` // drops on the server host during measurement
+	GwDrops     uint64  `json:"gw_drops"`     // drops summed over transit gateways
+	Forwarded   uint64  `json:"forwarded"`    // packets forwarded by gateways during measurement
+}
+
+// WANSeries is one (topology, system) sweep of aggregated-population
+// load: Clients is the modeled client count behind the topology's
+// edges, Procs the stackless generator procs emitting it (the
+// aggregation ratio the pop subsystem exists for), Impaired the named
+// fault scenario applied per hop ("" for clean cells).
+type WANSeries struct {
+	Topology string     `json:"topology"` // "1hop", "chain3", "tree16", ...
+	System   string     `json:"system"`
+	Clients  int        `json:"clients"`
+	Procs    int        `json:"procs"`
+	Impaired string     `json:"impaired,omitempty"`
+	Points   []WANPoint `json:"points"`
+}
+
 // Experiment is one named experiment's typed payload. Exactly one data
 // field is populated, matching Name.
 type Experiment struct {
@@ -167,6 +193,7 @@ type Experiment struct {
 	Media     []MediaRow    `json:"media,omitempty"`
 	Faults    []FaultCurve  `json:"faults,omitempty"`
 	SMP       []SMPSeries   `json:"smp,omitempty"`
+	WAN       []WANSeries   `json:"wan,omitempty"`
 }
 
 // Suite is a whole lrpbench run: run parameters plus every experiment's
@@ -222,6 +249,8 @@ func (e *Experiment) payload() bool {
 		return len(e.Faults) > 0
 	case "smp":
 		return len(e.SMP) > 0
+	case "wan":
+		return len(e.WAN) > 0
 	}
 	return false
 }

@@ -1,0 +1,283 @@
+// Package topo builds declarative multi-hop topologies over the netsim
+// switch fabric: chains of IP-forwarding hosts and fan-in trees with
+// configurable branching, the shapes of internet-scale paths between a
+// client population and a server under test. The paper's evaluation is a
+// single LAN segment; LRP's headline claims (stable throughput, no
+// receive livelock) matter most at internet fan-in, where transit
+// gateways are themselves receive-livelock candidates.
+//
+// A topology is expressed entirely with per-port next-hop routes
+// (netsim.AddRouteFrom): each segment of a chain is a route on the
+// upstream attachment pointing at the next forwarding host, so the
+// packet takes every hop — paying each gateway's receive path and a TTL
+// decrement — even though all hosts share one switch fabric. Builders
+// wire the forward and reverse routes, enable IP forwarding on the
+// transit hosts, and Validate walks every edge-to-server path without
+// sending traffic.
+//
+// Per-hop impairment comes free from the existing fault layer:
+// ImpairSegments compiles one fault.Pipeline per receiving port along
+// the paths (independent forked RNG streams per segment), so WAN-ish
+// loss/delay/reorder profiles apply hop by hop.
+package topo
+
+import (
+	"fmt"
+
+	"lrp/internal/core"
+	"lrp/internal/fault"
+	"lrp/internal/netsim"
+	"lrp/internal/pkt"
+	"lrp/internal/sim"
+)
+
+// maxPathHops bounds the reachability walk; a longer path means a
+// routing loop (or a topology the TTL budget could not cross anyway).
+const maxPathHops = 32
+
+// Spec carries what every builder needs: the world, a host factory
+// (binding architecture, cost model and link parameters), and the nice
+// value for the LRP forwarding daemons on transit hosts.
+type Spec struct {
+	Eng *sim.Engine
+	Net *netsim.Network
+	// Make constructs one attached host. The factory chooses everything
+	// but name and address (arch, costs, link speed), so a whole
+	// topology runs one kernel configuration per call site.
+	Make func(name string, addr pkt.Addr) *core.Host
+	// FwdNice is the nice value of the forwarding daemons spawned on
+	// transit hosts (LRP architectures; ignored by the eager kernels).
+	FwdNice int
+}
+
+// Topology is a built multi-hop world: a server under test, transit
+// gateways, and edge hosts where client populations attach. Slices are
+// in deterministic construction order.
+type Topology struct {
+	Name     string
+	Eng      *sim.Engine
+	Net      *netsim.Network
+	Server   *core.Host
+	Gateways []*core.Host
+	// Edges are the attach-point hosts: an aggregated population injects
+	// from an edge's address and its traffic follows that port's routes
+	// into the topology.
+	Edges []*core.Host
+
+	// segRx lists the receiving addresses of the topology's inter-host
+	// segments (every gateway plus the server), in path order: the
+	// granularity at which ImpairSegments applies per-hop fault plans.
+	segRx []pkt.Addr
+}
+
+// Standard address blocks: the server, then transit gateways, then edge
+// hosts, in distinct /24s of net 10.
+var (
+	serverAddr = pkt.IP(10, 1, 0, 1)
+)
+
+func gwAddr(i int) pkt.Addr   { return pkt.IP(10, 1, 1, byte(i+1)) }
+func edgeAddr(i int) pkt.Addr { return pkt.IP(10, 1, 2, byte(i+1)) }
+
+// Direct builds the degenerate 1-hop topology: one edge host and the
+// server on the same segment, no transit gateways — the paper's own LAN
+// setup, kept as the baseline cell of every wan sweep.
+func Direct(spec Spec) *Topology {
+	t := &Topology{Name: "1hop", Eng: spec.Eng, Net: spec.Net}
+	t.Server = spec.Make("S", serverAddr)
+	t.Edges = []*core.Host{spec.Make("E0", edgeAddr(0))}
+	t.segRx = []pkt.Addr{serverAddr}
+	return t
+}
+
+// Chain builds edge -> G1 -> ... -> Ghops -> server: hops transit
+// gateways, each forwarding toward the server, with reverse routes so
+// server-originated traffic (TCP handshakes, responses) retraces the
+// chain back to the edge.
+func Chain(spec Spec, hops int) *Topology {
+	if hops < 1 {
+		panic("topo: Chain needs at least one transit hop")
+	}
+	t := &Topology{Name: fmt.Sprintf("chain%d", hops+1), Eng: spec.Eng, Net: spec.Net}
+	t.Server = spec.Make("S", serverAddr)
+	edge := spec.Make("E0", edgeAddr(0))
+	t.Edges = []*core.Host{edge}
+	for i := 0; i < hops; i++ {
+		g := spec.Make(fmt.Sprintf("G%d", i+1), gwAddr(i))
+		g.EnableForwarding(spec.FwdNice)
+		t.Gateways = append(t.Gateways, g)
+	}
+	// Forward path: edge -> G1, Gi -> Gi+1; the last gateway reaches the
+	// server directly.
+	mustRoute(spec.Net, edge.Addr, serverAddr, t.Gateways[0].Addr)
+	for i := 0; i < hops-1; i++ {
+		mustRoute(spec.Net, t.Gateways[i].Addr, serverAddr, t.Gateways[i+1].Addr)
+	}
+	// Reverse path: server -> Ghops, Gi -> Gi-1; G1 reaches the edge
+	// directly.
+	mustRoute(spec.Net, serverAddr, edge.Addr, t.Gateways[hops-1].Addr)
+	for i := hops - 1; i > 0; i-- {
+		mustRoute(spec.Net, t.Gateways[i].Addr, edge.Addr, t.Gateways[i-1].Addr)
+	}
+	for i := 0; i < hops; i++ {
+		t.segRx = append(t.segRx, t.Gateways[i].Addr)
+	}
+	t.segRx = append(t.segRx, serverAddr)
+	return t
+}
+
+// FanIn builds a fan-in tree with the given branching: branching^depth
+// edge hosts at the leaves, each group of `branching` children feeding
+// one gateway, levels of gateways converging on a root gateway that
+// feeds the server. depth counts gateway levels, so FanIn(spec, 4, 2)
+// is 16 edges -> 4 aggregation gateways -> 1 root gateway -> server.
+func FanIn(spec Spec, branching, depth int) *Topology {
+	if branching < 2 || depth < 1 {
+		panic("topo: FanIn needs branching >= 2 and depth >= 1")
+	}
+	leaves := 1
+	for i := 0; i < depth; i++ {
+		leaves *= branching
+	}
+	t := &Topology{Name: fmt.Sprintf("tree%d", leaves), Eng: spec.Eng, Net: spec.Net}
+	t.Server = spec.Make("S", serverAddr)
+
+	// Gateway levels, root (level 0, one node) outward; level k has
+	// branching^k nodes. parent(level k, index j) = node j/branching of
+	// level k-1.
+	levels := make([][]*core.Host, depth)
+	n := 0
+	width := 1
+	for k := 0; k < depth; k++ {
+		for j := 0; j < width; j++ {
+			g := spec.Make(fmt.Sprintf("G%d", n+1), gwAddr(n))
+			g.EnableForwarding(spec.FwdNice)
+			levels[k] = append(levels[k], g)
+			t.Gateways = append(t.Gateways, g)
+			n++
+		}
+		width *= branching
+	}
+	for i := 0; i < leaves; i++ {
+		t.Edges = append(t.Edges, spec.Make(fmt.Sprintf("E%d", i), edgeAddr(i)))
+	}
+
+	// Forward routes: each edge sends server-bound traffic to its leaf
+	// gateway; each gateway forwards to its parent; the root reaches the
+	// server directly.
+	leafGws := levels[depth-1]
+	for i, e := range t.Edges {
+		mustRoute(spec.Net, e.Addr, serverAddr, leafGws[i/branching].Addr)
+	}
+	for k := depth - 1; k >= 1; k-- {
+		for j, g := range levels[k] {
+			mustRoute(spec.Net, g.Addr, serverAddr, levels[k-1][j/branching].Addr)
+		}
+	}
+
+	// Reverse routes, per edge: the server sends via the root; each
+	// gateway sends via the child whose subtree holds the edge; leaf
+	// gateways reach their edges directly. Edge i's ancestor at level k
+	// is node i / branching^(depth-k) of that level.
+	for i, e := range t.Edges {
+		mustRoute(spec.Net, serverAddr, e.Addr, levels[0][0].Addr)
+		div := leaves
+		for k := 0; k < depth-1; k++ {
+			div /= branching // edges per level-(k+1) subtree
+			cur := levels[k][i/(div*branching)]
+			next := levels[k+1][i/div]
+			mustRoute(spec.Net, cur.Addr, e.Addr, next.Addr)
+		}
+	}
+
+	for k := depth - 1; k >= 0; k-- {
+		for _, g := range levels[k] {
+			t.segRx = append(t.segRx, g.Addr)
+		}
+	}
+	t.segRx = append(t.segRx, serverAddr)
+	return t
+}
+
+// mustRoute installs a per-port next-hop route; builders construct both
+// endpoints before routing, so failure is a construction bug.
+func mustRoute(nw *netsim.Network, from, dst, via pkt.Addr) {
+	if err := nw.AddRouteFrom(from, dst, via); err != nil {
+		panic(err)
+	}
+}
+
+// Validate walks every edge-to-server path and every server-to-edge
+// path through the installed routes, confirming each terminates at its
+// destination within maxPathHops, and that every transit host on the
+// way runs IP forwarding.
+func (t *Topology) Validate() error {
+	fwd := make(map[pkt.Addr]bool, len(t.Gateways))
+	for _, g := range t.Gateways {
+		fwd[g.Addr] = true
+	}
+	for _, e := range t.Edges {
+		if err := t.walk(e.Addr, t.Server.Addr, fwd); err != nil {
+			return err
+		}
+		if err := t.walk(t.Server.Addr, e.Addr, fwd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walk traces one path from -> dst hop by hop.
+func (t *Topology) walk(from, dst pkt.Addr, fwd map[pkt.Addr]bool) error {
+	cur := from
+	for hop := 0; hop < maxPathHops; hop++ {
+		next, ok := t.Net.NextHopFrom(cur, dst)
+		if !ok {
+			return fmt.Errorf("topo %s: no route from %v toward %v (at %v)", t.Name, from, dst, cur)
+		}
+		if next == dst {
+			return nil
+		}
+		if !fwd[next] {
+			return fmt.Errorf("topo %s: path %v -> %v transits %v, which does not forward", t.Name, from, dst, next)
+		}
+		cur = next
+	}
+	return fmt.Errorf("topo %s: path %v -> %v exceeds %d hops (routing loop?)", t.Name, from, dst, maxPathHops)
+}
+
+// Hops returns the number of inter-host segments on an edge-to-server
+// path (1 for Direct, transit hops + 1 otherwise). Populations size
+// their TTL above it.
+func (t *Topology) Hops() int { return len(t.segRx) }
+
+// ImpairSegments compiles plan once per topology segment and installs
+// each pipeline on the segment's receiving port (gateway and server
+// attachments), so the same WAN profile applies independently at every
+// hop. Each segment's pipeline is reseeded with a distinct derived seed:
+// adjacent hops must not replay identical drop sequences.
+func (t *Topology) ImpairSegments(plan fault.Plan) error {
+	for i, addr := range t.segRx {
+		p := plan
+		p.Seed = plan.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		pl, err := fault.New(p)
+		if err != nil {
+			return err
+		}
+		if err := t.Net.SetPortFaults(addr, pl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shutdown stops every host in the topology.
+func (t *Topology) Shutdown() {
+	for _, h := range t.Edges {
+		h.Shutdown()
+	}
+	for _, h := range t.Gateways {
+		h.Shutdown()
+	}
+	t.Server.Shutdown()
+}

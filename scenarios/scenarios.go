@@ -1,0 +1,38 @@
+// Package scenarios ships the named fault-plan library: serialized
+// fault.Plan JSON files usable both from the command line
+// (`lrpbench -faultplan scenarios/flaky-wan.json`) and by name from the
+// experiment drivers (the wan verb's impaired cells). The files are the
+// source of truth; this package embeds them so in-tree consumers are
+// independent of the working directory.
+package scenarios
+
+import (
+	_ "embed"
+	"fmt"
+
+	"lrp/internal/fault"
+)
+
+//go:embed flaky-wan.json
+var flakyWAN []byte
+
+//go:embed datacenter-incast.json
+var datacenterIncast []byte
+
+// Names lists the shipped scenarios in canonical order.
+var Names = []string{"flaky-wan", "datacenter-incast"}
+
+// Load parses the named scenario. "flaky-wan" is a lossy long-haul
+// segment: bursty Gilbert-Elliott loss, sub-millisecond jitter and
+// occasional reordering. "datacenter-incast" is a congested aggregation
+// segment: steady tail drops, brief total outages from buffer overruns,
+// and rare duplicates.
+func Load(name string) (fault.Plan, error) {
+	switch name {
+	case "flaky-wan":
+		return fault.ParsePlan(flakyWAN)
+	case "datacenter-incast":
+		return fault.ParsePlan(datacenterIncast)
+	}
+	return fault.Plan{}, fmt.Errorf("scenarios: unknown scenario %q (have %v)", name, Names)
+}

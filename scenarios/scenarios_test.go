@@ -1,0 +1,26 @@
+package scenarios
+
+import (
+	"testing"
+
+	"lrp/internal/fault"
+)
+
+func TestShippedScenariosParse(t *testing.T) {
+	for _, name := range Names {
+		p, err := Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(p.Segments) == 0 || p.Seed == 0 {
+			t.Fatalf("%s: degenerate plan %+v", name, p)
+		}
+		// A shipped plan must compile into a pipeline.
+		if _, err := fault.New(p); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := Load("no-such"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
