@@ -41,6 +41,12 @@ type BlastSource struct {
 	stopped bool
 	ipid    uint16
 	pool    *mbuf.Pool
+	// lane carries the source's self-chained emission events: at most one
+	// is outstanding, so posting is a lane append, not a heap sift.
+	lane *sim.Lane
+	// emit is the single reusable firing thunk; rebuilding it per packet
+	// would allocate a closure on every emission.
+	emit func()
 }
 
 // Start begins injection; call Stop to end it.
@@ -52,6 +58,16 @@ func (b *BlastSource) Start() {
 		b.Jitter = 0.3
 	}
 	b.pool = mbuf.NewPool(genPoolLimit)
+	b.lane = b.Net.Eng.NewLane()
+	b.emit = func() {
+		if b.stopped {
+			return
+		}
+		b.ipid++
+		b.Sent.Inc()
+		injectUDP(b.Net, b.pool, b.Src, b.Dst, b.SPort, b.DPort, b.ipid, b.Size)
+		b.schedule()
+	}
 	b.schedule()
 }
 
@@ -71,15 +87,7 @@ func (b *BlastSource) schedule() {
 	} else {
 		gap = b.Rng.Jitter(gap, b.Jitter)
 	}
-	b.Net.Eng.After(gap, func() {
-		if b.stopped {
-			return
-		}
-		b.ipid++
-		b.Sent.Inc()
-		injectUDP(b.Net, b.pool, b.Src, b.Dst, b.SPort, b.DPort, b.ipid, b.Size)
-		b.schedule()
-	})
+	b.lane.PostAfter(gap, b.emit)
 }
 
 // BlastSink is the receiving process: it reads datagrams as fast as it can
@@ -128,6 +136,7 @@ func (s *BlastSink) Start() {
 					p.ReqExit()
 					return
 				}
+				recv.D.Release() // the sink discards the payload
 				recv.Reset()
 				s.Received.Inc()
 				if p.ReqCompute(s.PerPktCompute) {

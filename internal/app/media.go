@@ -33,6 +33,12 @@ type MediaSource struct {
 	stopped bool
 	ipid    uint16
 	pool    *mbuf.Pool
+	// lane carries the stream's self-chained frame events: at most one is
+	// outstanding, so posting is a lane append, not a heap sift.
+	lane *sim.Lane
+	// emit is the single reusable firing thunk; rebuilding it per frame
+	// would allocate a closure on every emission.
+	emit func()
 }
 
 // Start begins the stream.
@@ -44,6 +50,16 @@ func (m *MediaSource) Start() {
 		m.Interval = 33_333
 	}
 	m.pool = mbuf.NewPool(genPoolLimit)
+	m.lane = m.Net.Eng.NewLane()
+	m.emit = func() {
+		if m.stopped {
+			return
+		}
+		m.ipid++
+		m.Sent.Inc()
+		injectUDP(m.Net, m.pool, m.Src, m.Dst, m.SPort, m.DPort, m.ipid, m.FrameSize)
+		m.schedule()
+	}
 	m.schedule()
 }
 
@@ -54,15 +70,7 @@ func (m *MediaSource) schedule() {
 	if m.stopped {
 		return
 	}
-	m.Net.Eng.After(m.Interval, func() {
-		if m.stopped {
-			return
-		}
-		m.ipid++
-		m.Sent.Inc()
-		injectUDP(m.Net, m.pool, m.Src, m.Dst, m.SPort, m.DPort, m.ipid, m.FrameSize)
-		m.schedule()
-	})
+	m.lane.PostAfter(m.Interval, m.emit)
 }
 
 // MediaPlayer receives the stream and records inter-frame delivery
@@ -112,6 +120,7 @@ func (m *MediaPlayer) Start() {
 					p.ReqExit()
 					return
 				}
+				recv.D.Release() // the player only times frames
 				recv.Reset()
 				now := p.Now()
 				if last != 0 {

@@ -68,6 +68,7 @@ func (s *PingPongServer) Start() {
 					p.ReqExit()
 					return
 				}
+				d.Release() // echoed (send copied the bytes); buffer is dead
 				pc = ppsRecv
 			}
 		}
@@ -181,6 +182,7 @@ func (c *PingPongClient) Start() {
 					p.ReqExit()
 					return
 				}
+				recv.D.Release() // only the round-trip time matters
 				i++
 				pc = ppcLoop
 				if i-1 < c.Warmup {

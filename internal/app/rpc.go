@@ -81,6 +81,7 @@ func (s *RPCServer) Start() {
 				if len(d.Data) >= 8 {
 					copy(reply, d.Data[:8]) // echo the request id
 				}
+				d.Release() // only the id was needed
 				send.Reset()
 				pc = 3
 			case 3:
@@ -149,6 +150,7 @@ func (w *WorkerServer) Start() {
 					return
 				}
 				d = recv.D
+				d.Release() // only the reply address is needed
 				w.StartedAt = p.Now()
 				remaining = w.ComputeTime
 				pc = 2
@@ -300,6 +302,7 @@ func (c *RPCClient) Start() {
 						delete(sendTimes, rid)
 					}
 				}
+				recv.D.Release() // id consumed
 				c.Completed.Inc()
 				pc = 1
 			}

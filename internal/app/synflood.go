@@ -32,6 +32,12 @@ type SYNFlood struct {
 	seq     uint32
 	ipid    uint16
 	pool    *mbuf.Pool
+	// lane carries the flood's self-chained emission events: at most one
+	// is outstanding, so posting is a lane append, not a heap sift.
+	lane *sim.Lane
+	// emit is the single reusable firing thunk; rebuilding it per SYN
+	// would allocate a closure on every emission.
+	emit func()
 }
 
 // Start begins the flood; Stop halts it.
@@ -46,21 +52,8 @@ func (f *SYNFlood) Start() {
 		f.sport = 1024
 	}
 	f.pool = mbuf.NewPool(genPoolLimit)
-	f.schedule()
-}
-
-// Stop halts the flood.
-func (f *SYNFlood) Stop() { f.stopped = true }
-
-func (f *SYNFlood) schedule() {
-	if f.stopped || f.Rate <= 0 {
-		return
-	}
-	gap := sim.Second / f.Rate
-	if gap < 1 {
-		gap = 1
-	}
-	f.Net.Eng.After(f.Rng.Jitter(gap, f.Jitter), func() {
+	f.lane = f.Net.Eng.NewLane()
+	f.emit = func() {
 		if f.stopped {
 			return
 		}
@@ -86,7 +79,22 @@ func (f *SYNFlood) schedule() {
 			f.Net.Inject(pkt.TCPSegment(f.Src, f.Dst, &h, f.ipid, 64, nil))
 		}
 		f.schedule()
-	})
+	}
+	f.schedule()
+}
+
+// Stop halts the flood.
+func (f *SYNFlood) Stop() { f.stopped = true }
+
+func (f *SYNFlood) schedule() {
+	if f.stopped || f.Rate <= 0 {
+		return
+	}
+	gap := sim.Second / f.Rate
+	if gap < 1 {
+		gap = 1
+	}
+	f.lane.PostAfter(f.Rng.Jitter(gap, f.Jitter), f.emit)
 }
 
 // StartDummyServer spawns the flood's victim: "a dummy server running on

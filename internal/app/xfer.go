@@ -61,8 +61,11 @@ func (r *UDPWindowReceiver) Start() {
 				r.Pkts.Inc()
 				if len(d.Data) >= 4 {
 					copy(ack, d.Data[:4])
+					d.Release() // seq copied into the ack buffer
 					send.Reset()
 					pc = 2
+				} else {
+					d.Release() // runt datagram; nothing to ack
 				}
 			case 2:
 				if !r.Host.SendToStep(p, sock, d.Src, d.SPort, ack, &send) {
@@ -169,6 +172,7 @@ func (s *UDPWindowSender) Start() {
 						ackd = a
 					}
 				}
+				recv.D.Release() // ack consumed
 			}
 		}
 	})

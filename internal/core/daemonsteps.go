@@ -251,12 +251,13 @@ func (h *Host) appProtoInputStep(p *kernel.Proc, m *mbuf.Mbuf, hint *socket.Sock
 				}
 				fr.pc = inTCP
 			case pkt.ProtoUDP:
-				// Delivered datagrams alias the packet bytes; surrender our
-				// storage.
+				// Delivered datagrams alias the packet bytes; hand the mbuf
+				// along so the consumer can recycle the storage.
+				var own *mbuf.Mbuf
 				if aliases(fr.whole, fr.b) {
-					m.Detach()
+					own = m
 				}
-				h.udpInput(&fr.ih, fr.seg, fr.arrival, fr.hint)
+				h.udpInput(&fr.ih, fr.seg, fr.arrival, fr.hint, own)
 				m.EndTransfer()
 				return true
 			default:
@@ -344,7 +345,13 @@ func (h *Host) idleMainStep() kernel.StepFn {
 				d = lazy.d
 				lazy = lazyInputOp{}
 				if g := h.groupOf(socks[i]); g != nil {
-					// Shared multicast channel: fan out to every member.
+					// Shared multicast channel: fan out to every member. The
+					// copies share the bytes, so disown the storage first.
+					if mm := d.M; mm != nil {
+						d.M = nil
+						mm.Detach()
+						mm.EndTransfer()
+					}
 					fan = mcastFanoutOp{members: g.members}
 					pc = idleFan
 					continue
@@ -364,7 +371,10 @@ func (h *Host) idleMainStep() kernel.StepFn {
 				s := socks[i]
 				if s.RecvDgrams.Enqueue(d) {
 					s.RcvWait.WakeupAll()
+				} else {
+					d.Release() // queue refused; recycle the buffer now
 				}
+				d = socket.Datagram{}
 				i++
 				pc = idleIter
 			case idlePass:

@@ -236,21 +236,27 @@ func (h *Host) channelSignal(sock *socket.Socket, ch *nic.Channel) {
 	// the woken receiver (UDP) re-requests interrupts when it next needs
 	// them.
 	ch.IntrRequested = false
-	act := func() {
-		switch {
-		case sock.Type == socket.Stream:
-			h.queueChannelWork(sock)
-		default:
-			if g := h.groupOf(sock); g != nil {
-				// Shared (multicast) channel: wake the highest-priority
-				// member with a sleeping receiver.
-				h.mcastSignal(g)
-				return
+	act := sock.SignalAct
+	if act == nil {
+		// Built once per socket: the signal path runs per empty->nonempty
+		// transition and must not allocate a closure each time.
+		act = func() {
+			switch {
+			case sock.Type == socket.Stream:
+				h.queueChannelWork(sock)
+			default:
+				if g := h.groupOf(sock); g != nil {
+					// Shared (multicast) channel: wake the highest-priority
+					// member with a sleeping receiver.
+					h.mcastSignal(g)
+					return
+				}
+				// "the process with the highest priority performs the
+				// protocol processing"
+				sock.RcvWait.WakeupBest()
 			}
-			// "the process with the highest priority performs the
-			// protocol processing"
-			sock.RcvWait.WakeupBest()
 		}
+		sock.SignalAct = act
 	}
 	if h.Arch == ArchNILRP {
 		// The NIC raises a minimal host interrupt. Its cost is charged to
@@ -349,7 +355,8 @@ func isSYN(b []byte) bool {
 // allocate — ACKs, echo replies — and must see the same pool occupancy as
 // before buffer recycling); the storage is recycled at the end, once
 // nothing references the raw bytes. Only delivered UDP payload outlives
-// this function, and that path detaches the storage first.
+// this function, and that path takes its own reference on the mbuf so the
+// consumer can recycle the buffer (Datagram.Release).
 //
 //lrp:hotpath
 func (h *Host) protoInput(m *mbuf.Mbuf, sockHint *socket.Socket) {
@@ -382,11 +389,13 @@ func (h *Host) protoInput(m *mbuf.Mbuf, sockHint *socket.Socket) {
 	switch ih.Proto {
 	case pkt.ProtoUDP:
 		// Delivered datagrams alias the packet bytes for as long as the
-		// application holds them: surrender the storage when it is ours.
+		// application holds them: when the storage is ours, pass the mbuf
+		// along so the delivery can hand it to the consumer for recycling.
+		var own *mbuf.Mbuf
 		if aliases(whole, b) {
-			m.Detach()
+			own = m
 		}
-		h.udpInput(&ih, seg, arrival, sockHint)
+		h.udpInput(&ih, seg, arrival, sockHint, own)
 	case pkt.ProtoTCP:
 		h.tcpInput(&ih, seg, sockHint) // TCP copies what it retains
 	case pkt.ProtoICMP:
@@ -405,10 +414,13 @@ func aliases(x, b []byte) bool {
 }
 
 // udpInput validates a UDP datagram and appends it to the destination
-// socket queue.
+// socket queue. m, when non-nil, is the packet's mbuf whose storage backs
+// seg and whose release still belongs to the caller: on delivery udpInput
+// takes an extra reference and attaches it to the datagram so the consumer
+// can recycle the buffer; on a drop the caller's release recycles it.
 //
 //lrp:hotpath
-func (h *Host) udpInput(ih *pkt.IPv4Header, seg []byte, arrival int64, sock *socket.Socket) {
+func (h *Host) udpInput(ih *pkt.IPv4Header, seg []byte, arrival int64, sock *socket.Socket, m *mbuf.Mbuf) {
 	uh, err := pkt.DecodeUDP(seg, ih.Src, ih.Dst)
 	if err != nil {
 		if sock != nil {
@@ -437,11 +449,23 @@ func (h *Host) udpInput(ih *pkt.IPv4Header, seg []byte, arrival int64, sock *soc
 		Arrival: arrival,
 	}
 	if g := h.groupOf(sock); g != nil {
-		// Multicast: fan the datagram out to every member socket.
+		// Multicast: fan the datagram out to every member socket. The
+		// copies share the bytes, so no member may recycle them — disown
+		// the storage and let the collector reclaim it.
+		if m != nil {
+			m.Detach()
+		}
 		h.mcastFanout(nil, g, d)
 		return
 	}
+	if m != nil {
+		d.M = m
+		m.AddRef() // the queue's reference; dropped again if the queue refuses
+	}
 	if !sock.RecvDgrams.Enqueue(d) {
+		if m != nil {
+			m.EndTransfer()
+		}
 		if h.Trace != nil {
 			h.Trace.Add(trace.KindDrop, "%s: socket queue overflow port %d", h.Name, sock.LPort) //lrp:coldalloc vararg boxing; only reached with tracing enabled
 		}

@@ -265,6 +265,14 @@ func (h *Host) RecvFromStep(p *kernel.Proc, s *socket.Socket, fr *RecvFromOp) bo
 				continue
 			}
 			fr.fanD = fr.lazy.d
+			if mm := fr.fanD.M; mm != nil {
+				// Fanout copies share the bytes, so no member may recycle
+				// them: disown the storage (the GC reclaims it) and recycle
+				// just the struct, as the pre-handoff code did.
+				fr.fanD.M = nil
+				mm.Detach()
+				mm.EndTransfer()
+			}
 			fr.fan = mcastFanoutOp{members: fr.g.members}
 			fr.pc = recvMcastFan
 		case recvMcastFan:
@@ -317,10 +325,11 @@ func (h *Host) udpLazyInputStep(p, owner *kernel.Proc, s *socket.Socket, m *mbuf
 			fr.arrival = m.Arrival
 			// Release the pool slot before protocol processing (matching the
 			// old free-then-read accounting) but keep the storage until the
-			// raw bytes are no longer needed — or detach it if they escape
-			// into the datagram. The transfer spans scheduler yields, so the
-			// flow-sensitive pairing check cannot follow it: every state that
-			// completes the machine ends or detaches the transfer.
+			// raw bytes are no longer needed — or hand the mbuf to the
+			// delivered datagram when the bytes escape into it. The transfer
+			// spans scheduler yields, so the flow-sensitive pairing check
+			// cannot follow it: every state that completes the machine ends
+			// the transfer or moves its ownership into Datagram.M.
 			m.BeginTransfer() //lrp:nolint mbufown
 			whole, done := h.reasm.Input(fr.b, h.Eng.Now())
 			if !done {
@@ -357,15 +366,21 @@ func (h *Host) udpLazyInputStep(p, owner *kernel.Proc, s *socket.Socket, m *mbuf
 			}
 			s.Stats.RxDelivered++
 			s.Stats.RxBytes += uint64(int(uh.Length) - pkt.UDPHeaderLen)
+			var own *mbuf.Mbuf
 			if aliases(whole, fr.b) {
-				m.Detach()
+				// The datagram rides in the packet's own buffer: hand the
+				// mbuf over with it so the consumer can recycle the storage
+				// once the bytes are dead (Datagram.Release).
+				own = m
+			} else {
+				m.EndTransfer() // reassembled elsewhere; packet buffer is done
 			}
-			m.EndTransfer()
 			fr.d = socket.Datagram{
 				Data:    seg[pkt.UDPHeaderLen:int(uh.Length)],
 				Src:     ih.Src,
 				SPort:   uh.SrcPort,
 				Arrival: fr.arrival,
+				M:       own,
 			}
 			fr.ok = true
 			return true

@@ -100,10 +100,25 @@ type Table[E any] struct {
 	// deleted via DropFrag leaves a tombstone here; purge compacts it.
 	fragOrder []fragKey
 
+	// One-entry classification cache: server workloads hammer a handful of
+	// flows, so the previous packet's 5-tuple usually repeats and the two
+	// map probes (connected, then listen) can be skipped. Any bind or
+	// unbind invalidates it, since a new exact binding must shadow a
+	// cached listen match.
+	cKey fiveTuple
+	cEp  E
+	cOK  bool
+
 	// Stats
 	Lookups    uint64
 	FragHits   uint64
 	FragMisses uint64
+}
+
+// invalidate clears the classification cache after a binding change.
+func (t *Table[E]) invalidate() {
+	var zero E
+	t.cKey, t.cEp, t.cOK = fiveTuple{}, zero, false
 }
 
 // NewTable returns an empty table.
@@ -120,22 +135,26 @@ func NewTable[E any]() *Table[E] {
 // (connected TCP socket or connected UDP socket).
 func (t *Table[E]) BindConnected(proto byte, local pkt.Addr, lport uint16, remote pkt.Addr, rport uint16, ep E) {
 	t.exact[fiveTuple{proto, local, remote, lport, rport}] = ep
+	t.invalidate()
 }
 
 // UnbindConnected removes a connected binding.
 func (t *Table[E]) UnbindConnected(proto byte, local pkt.Addr, lport uint16, remote pkt.Addr, rport uint16) {
 	delete(t.exact, fiveTuple{proto, local, remote, lport, rport})
+	t.invalidate()
 }
 
 // BindListen installs an endpoint for a local (addr, port) pair; a zero
 // addr matches any local address.
 func (t *Table[E]) BindListen(proto byte, local pkt.Addr, lport uint16, ep E) {
 	t.listen[listenKey{proto, local, lport}] = ep
+	t.invalidate()
 }
 
 // UnbindListen removes a listening binding.
 func (t *Table[E]) UnbindListen(proto byte, local pkt.Addr, lport uint16) {
 	delete(t.listen, listenKey{proto, local, lport})
+	t.invalidate()
 }
 
 // BindProto installs a proxy endpoint for a whole IP protocol (the LRP
@@ -194,10 +213,16 @@ func (t *Table[E]) classifyTransport(seg []byte, ih *pkt.IPv4Header) (ep E, v Ve
 		// charged) to their destination.
 		sport := uint16(seg[0])<<8 | uint16(seg[1])
 		dport := uint16(seg[2])<<8 | uint16(seg[3])
+		key := fiveTuple{ih.Proto, ih.Dst, ih.Src, dport, sport}
+		if t.cOK && t.cKey == key {
+			return t.cEp, Match
+		}
 		if e, ok := t.LookupConnected(ih.Proto, ih.Dst, dport, ih.Src, sport); ok {
+			t.cKey, t.cEp, t.cOK = key, e, true
 			return e, Match
 		}
 		if e, ok := t.LookupListen(ih.Proto, ih.Dst, dport); ok {
+			t.cKey, t.cEp, t.cOK = key, e, true
 			return e, Match
 		}
 		return ep, NoMatch

@@ -10,6 +10,7 @@ package exp
 // the sweep's wall clock.
 
 import (
+	"runtime"
 	"testing"
 
 	"lrp/internal/app"
@@ -19,7 +20,8 @@ import (
 )
 
 func benchmarkSMPCell(b *testing.B, cores int) {
-	var events uint64
+	var events, mallocs uint64
+	var ms runtime.MemStats
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
 		nw := netsim.New(eng)
@@ -39,12 +41,22 @@ func benchmarkSMPCell(b *testing.B, cores int) {
 			}
 			src.Start()
 		}
+		// Steady-state allocation metric: count mallocs across the run
+		// phase only, so world construction (fresh engine, host, apps every
+		// iteration) does not drown it. Warm-up growth (event free list,
+		// mbuf pools, lane hot array) leaves a small constant per run;
+		// anything per-event shows up as allocs/event near or above 1.
+		runtime.ReadMemStats(&ms)
+		pre := ms.Mallocs
 		eng.RunFor(300 * sim.Millisecond)
+		runtime.ReadMemStats(&ms)
+		mallocs += ms.Mallocs - pre
 		events += eng.Processed()
 		server.Shutdown()
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(float64(mallocs)/float64(events), "allocs/event")
 }
 
 func BenchmarkSMPCell1CPU(b *testing.B) { benchmarkSMPCell(b, 1) }

@@ -37,6 +37,19 @@ type port struct {
 	// rxFreeAt serializes delivery into the host: a 155 Mbit/s link can
 	// only hand over so many packets per second.
 	rxFreeAt sim.Time
+	// txLane carries this port's wire-serialization completions (the NIC
+	// transmits one packet at a time) and rxLane its fault-free inbound
+	// deliveries (rxFreeAt makes delivery times non-decreasing): both are
+	// FIFO by construction, so posting is a lane append, not a heap sift.
+	// Fault-delayed and duplicated deliveries intentionally break FIFO
+	// order and take the engine's wheel instead.
+	txLane *sim.Lane
+	rxLane *sim.Lane
+	// rcDst/rcVia cache the last unicast routing decision for packets
+	// leaving this attachment, so steady flows skip the per-packet map
+	// lookups. Invalidated whenever the topology changes.
+	rcDst pkt.Addr
+	rcVia *port
 	// faults, when non-nil, impairs traffic delivered to this port, on
 	// top of the network-wide pipeline.
 	faults *fault.Pipeline
@@ -71,6 +84,64 @@ type Network struct {
 	// suffices because the receiving NIC copies the packet synchronously
 	// in Rx and events fire one at a time.
 	scratch []byte
+	// postBuf is the reusable argument block for duplicate deliveries'
+	// PostBatch call (the engine does not retain the slice).
+	postBuf [2]sim.Post
+	// freeDeliv recycles delivery thunks: one closure per pooled object,
+	// built at creation, instead of one per delivered packet.
+	freeDeliv []*delivery
+	// rcDst/rcVia cache the last routing decision for origin-less
+	// (injected) traffic; injFrom/injPort the last injector attachment
+	// lookup. Invalidated whenever the topology changes.
+	rcDst   pkt.Addr
+	rcVia   *port
+	injFrom pkt.Addr
+	injPort *port
+}
+
+// delivery is a pooled in-flight packet handoff: the receive-side firing
+// thunk for one packet, recycled so the per-packet hot path does not
+// allocate a closure per delivery. fn is bound to run once at creation.
+type delivery struct {
+	nw      *Network
+	dst     *port
+	b       []byte
+	m       *mbuf.Mbuf
+	corrupt bool
+	fn      func()
+}
+
+// newDelivery takes a delivery from the free list (or builds one) and fills
+// it for the packet at hand.
+//
+//lrp:hotpath
+func (nw *Network) newDelivery(dst *port, b []byte, m *mbuf.Mbuf, corrupt bool) *delivery {
+	var d *delivery
+	if n := len(nw.freeDeliv); n > 0 {
+		d = nw.freeDeliv[n-1]
+		nw.freeDeliv = nw.freeDeliv[:n-1]
+	} else {
+		d = &delivery{nw: nw} //lrp:coldalloc free-list miss; steady state pops the list
+		d.fn = d.run
+	}
+	d.dst, d.b, d.m, d.corrupt = dst, b, m, corrupt
+	return d
+}
+
+// run completes the delivery: hand the wire bytes to the receiving NIC and
+// release the wire reference. The delivery object is recycled first (into
+// locals), because Rx can synchronously trigger further deliveries —
+// forwarding, protocol replies — that must be free to reuse it.
+//
+//lrp:hotpath
+func (d *delivery) run() {
+	nw, dst, b, m := d.nw, d.dst, d.b, d.m
+	if d.corrupt {
+		b = nw.corruptCopy(b)
+	}
+	nw.freeDeliv = append(nw.freeDeliv, d) //lrp:coldalloc free list grows to the in-flight high-water, then stabilizes
+	dst.nic.Rx(b)
+	m.EndTransfer()
 }
 
 // New creates an empty network.
@@ -95,12 +166,15 @@ func (nw *Network) Attach(n *nic.NIC, addr pkt.Addr, bandwidthBps int64, propDel
 		addr:         addr,
 		bwBytesPerUs: float64(bandwidthBps) / 8 / 1e6,
 		propDelay:    propDelay,
+		txLane:       nw.Eng.NewLane(),
+		rxLane:       nw.Eng.NewLane(),
 	}
 	nw.ports[addr] = p
 	nw.order = append(nw.order, p)
+	nw.routesChanged()
 	n.Transmit = func(m *mbuf.Mbuf, done func()) {
 		st := nw.serializationTime(p, m.Len())
-		nw.Eng.After(st, func() {
+		p.txLane.PostAfter(st, func() {
 			done()
 			nw.route(p, m.Data, m, p.propDelay)
 		})
@@ -158,9 +232,18 @@ func (nw *Network) route(from *port, b []byte, m *mbuf.Mbuf, propDelay int64) {
 		}
 		return
 	}
+	rcDst, rcVia := &nw.rcDst, &nw.rcVia
+	if from != nil {
+		rcDst, rcVia = &from.rcDst, &from.rcVia
+	}
+	if hop := *rcVia; hop != nil && *rcDst == ih.Dst {
+		nw.deliverTo(hop, b, m, propDelay)
+		return
+	}
 	if from != nil && from.routes != nil {
 		if via, ok := from.routes[ih.Dst]; ok {
 			if hop, hok := nw.ports[via]; hok {
+				*rcDst, *rcVia = ih.Dst, hop
 				nw.deliverTo(hop, b, m, propDelay)
 				return
 			}
@@ -173,6 +256,7 @@ func (nw *Network) route(from *port, b []byte, m *mbuf.Mbuf, propDelay int64) {
 	if !ok {
 		if via, hasRoute := nw.routes[ih.Dst]; hasRoute {
 			if gw, gok := nw.ports[via]; gok {
+				*rcDst, *rcVia = ih.Dst, gw
 				nw.deliverTo(gw, b, m, propDelay)
 				return
 			}
@@ -181,6 +265,7 @@ func (nw *Network) route(from *port, b []byte, m *mbuf.Mbuf, propDelay int64) {
 		m.EndTransfer()
 		return
 	}
+	*rcDst, *rcVia = ih.Dst, dst
 	nw.deliverTo(dst, b, m, propDelay)
 }
 
@@ -220,30 +305,29 @@ func (nw *Network) deliverTo(dst *port, b []byte, m *mbuf.Mbuf, propDelay int64)
 	if corrupt {
 		nw.stats.Corrupted++
 	}
-	nw.Eng.At(deliver, func() {
-		data := b
-		if corrupt {
-			data = nw.corruptCopy(b)
-		}
-		dst.nic.Rx(data)
-		m.EndTransfer()
-	})
+	d := nw.newDelivery(dst, b, m, corrupt)
 	if v.Duplicate {
 		// The copy rides its own wire reference on the shared storage and
-		// receives the same corruption treatment as the original.
+		// receives the same corruption treatment as the original. Both
+		// deliveries re-enter the engine as one non-decreasing batch.
 		if m != nil {
 			m.AddRef()
 		}
 		nw.stats.Delivered++
-		nw.Eng.At(deliver+sim.Time(v.DupDelayUs), func() {
-			data := b
-			if corrupt {
-				data = nw.corruptCopy(b)
-			}
-			dst.nic.Rx(data)
-			m.EndTransfer()
-		})
+		dup := nw.newDelivery(dst, b, m, corrupt)
+		nw.postBuf[0] = sim.Post{At: deliver, Fn: d.fn}
+		nw.postBuf[1] = sim.Post{At: deliver + sim.Time(v.DupDelayUs), Fn: dup.fn}
+		nw.Eng.PostBatch(nw.postBuf[:])
+		nw.postBuf[0].Fn, nw.postBuf[1].Fn = nil, nil
+		return
 	}
+	if v.ExtraDelayUs != 0 {
+		// A fault-delayed packet may be overtaken by later traffic: it
+		// leaves the port's FIFO delivery order and takes the wheel.
+		nw.Eng.At(deliver, d.fn)
+		return
+	}
+	dst.rxLane.Post(deliver, d.fn)
 }
 
 // corruptCopy returns the wire bytes with a payload byte flipped, in the
@@ -252,7 +336,7 @@ func (nw *Network) deliverTo(dst *port, b []byte, m *mbuf.Mbuf, propDelay int64)
 // generator that reuses it.
 func (nw *Network) corruptCopy(b []byte) []byte {
 	if cap(nw.scratch) < len(b) {
-		nw.scratch = make([]byte, len(b))
+		nw.scratch = make([]byte, len(b)) //lrp:coldalloc grows to the largest corrupted packet, then stabilizes
 	}
 	s := nw.scratch[:len(b)]
 	copy(s, b)
@@ -293,11 +377,23 @@ func (nw *Network) SetPortFaults(addr pkt.Addr, p *fault.Pipeline) error {
 	return nil
 }
 
+// routesChanged invalidates every cached routing decision. Called whenever
+// the topology gains an attachment or a route, so caches only ever serve
+// decisions the current topology would repeat.
+func (nw *Network) routesChanged() {
+	nw.rcVia = nil
+	nw.injPort = nil
+	for _, p := range nw.order {
+		p.rcVia = nil
+	}
+}
+
 // AddRoute makes traffic for an unattached destination address travel via
 // the attached gateway host at via (which must run IP forwarding for the
 // traffic to go anywhere).
 func (nw *Network) AddRoute(dst, via pkt.Addr) {
 	nw.routes[dst] = via
+	nw.routesChanged()
 }
 
 // AddRouteFrom installs a next-hop route on the attachment at from:
@@ -318,6 +414,7 @@ func (nw *Network) AddRouteFrom(from, dst, via pkt.Addr) error {
 		p.routes = make(map[pkt.Addr]pkt.Addr)
 	}
 	p.routes[dst] = via
+	nw.routesChanged()
 	return nil
 }
 
@@ -372,7 +469,13 @@ func (nw *Network) InjectMbuf(m *mbuf.Mbuf) {
 //
 //lrp:hotpath
 func (nw *Network) InjectMbufFrom(from pkt.Addr, m *mbuf.Mbuf) {
-	p := nw.ports[from]
+	p := nw.injPort
+	if p == nil || nw.injFrom != from {
+		p = nw.ports[from]
+		if p != nil {
+			nw.injFrom, nw.injPort = from, p
+		}
+	}
 	m.BeginTransfer()
 	nw.stats.Injected++
 	if p == nil {

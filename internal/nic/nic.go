@@ -116,6 +116,18 @@ type NIC struct {
 
 	nicBacklog   int      // packets queued for the embedded processor
 	nicBusyUntil sim.Time // when the embedded processor finishes its backlog
+	// nicLane feeds the embedded processor's completion events to the
+	// engine: the processor serves packets serially, so completion times
+	// are non-decreasing by construction and each post is a plain lane
+	// append instead of a heap sift.
+	nicLane *sim.Lane
+	// nicPend holds the packets awaiting the embedded processor, FIFO from
+	// nicHead; completions fire in post order, so the head is always the
+	// packet being finished. nicStep is the single completion thunk shared
+	// by every packet — a per-packet closure would allocate per packet.
+	nicPend []*mbuf.Mbuf
+	nicHead int
+	nicStep func()
 
 	ifq    *mbuf.Queue
 	txBusy bool
@@ -168,9 +180,25 @@ func New(eng *sim.Engine, cfg Config) *NIC {
 		NICInputLimit: cfg.NICInputLimit,
 		rxq:           make([]rxQueue, cfg.RxQueues),
 		ifq:           mbuf.NewQueue(cfg.IfqLimit),
+		nicLane:       eng.NewLane(),
 	}
 	for i := range n.rxq {
 		n.rxq[i].ring = mbuf.NewQueue(cfg.RxRingSize)
+	}
+	n.nicStep = func() {
+		m := n.nicPend[n.nicHead]
+		n.nicPend[n.nicHead] = nil
+		n.nicHead++
+		if n.nicHead == len(n.nicPend) {
+			n.nicPend = n.nicPend[:0]
+			n.nicHead = 0
+		}
+		n.nicBacklog--
+		if n.OnNICProcess != nil {
+			n.OnNICProcess(m)
+		} else {
+			m.Free()
+		}
 	}
 	return n
 }
@@ -241,14 +269,8 @@ func (n *NIC) Rx(b []byte) {
 		}
 		n.nicBusyUntil += n.NICPerPktCost
 		n.nicBacklog++
-		n.Eng.At(n.nicBusyUntil, func() {
-			n.nicBacklog--
-			if n.OnNICProcess != nil {
-				n.OnNICProcess(m)
-			} else {
-				m.Free()
-			}
-		})
+		n.nicPend = append(n.nicPend, m) //lrp:coldalloc grows to the backlog high-water, then stabilizes
+		n.nicLane.Post(n.nicBusyUntil, n.nicStep)
 	}
 }
 

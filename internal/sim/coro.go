@@ -11,8 +11,8 @@ package sim
 // the simulated CPU fires its own burst-completion event in place and
 // continues with no goroutine switch at all.
 //
-// Determinism is unaffected: the event heap fixes the total order of
-// events, and the strict one-runnable-goroutine discipline means the
+// Determinism is unaffected: the engine's (when, seq) merge fixes the
+// total order of events, and the strict one-runnable-goroutine discipline means the
 // order of all state mutations is identical no matter which goroutine
 // happens to host a given event. Every handoff is a channel send/receive
 // pair, so the race detector sees a happens-before edge across every
@@ -104,12 +104,18 @@ func (e *Engine) LeaveToRoot() {
 
 // HeadIs reports whether ev is the next event the engine will fire. A
 // process coroutine uses this to recognise its own burst-completion
-// event at the head of the queue — the one event it may fire in place
+// event as the global merge winner — the one event it may fire in place
 // without changing the global event order.
 //
 //lrp:hotpath
 func (e *Engine) HeadIs(ev Event) bool {
-	return ev.e != nil && ev.gen == ev.e.gen && ev.e.idx == 0
+	if ev.e == nil || ev.gen != ev.e.gen {
+		return false
+	}
+	if ev.e.idx < 0 && ev.e.list == nil {
+		return false
+	}
+	return e.peek() == ev.e
 }
 
 // Horizon returns the deadline of the innermost Run/RunUntil in
@@ -125,7 +131,11 @@ func (e *Engine) Horizon() Time { return e.horizon }
 //
 //lrp:hotpath
 func (e *Engine) StepWithin() bool {
-	if e.stopped || e.queue.len() == 0 || e.queue.a[0].when > e.horizon {
+	if e.stopped {
+		return false
+	}
+	ev := e.peek()
+	if ev == nil || ev.when > e.horizon {
 		return false
 	}
 	return e.Step()

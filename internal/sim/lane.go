@@ -1,0 +1,303 @@
+package sim
+
+// Per-source FIFO lanes: the engine's structure for the dominant case of
+// near-term, already-ordered event traffic.
+//
+// Most hot producers in the simulation emit events whose deadlines are
+// non-decreasing by construction — a NIC's embedded processor finishes
+// packets in arrival order, a link serializes transmissions, a kernel's
+// burst-completion chain follows its own clock, an IPI line has at most one
+// interrupt in flight. For such a producer a priority queue is pure
+// overhead: posting is a plain tail append onto the producer's own lane,
+// and only the *lanes* (not the events) are merged. The merge works on
+// value-type laneSlot entries — the lane's head-event key plus a lane id —
+// so it compares and moves plain integers: no pointer chasing into event
+// storage and no GC write barriers.
+//
+// The merge structure is chosen for the *churn* pattern, not the lookup
+// pattern. The hottest producers keep exactly one event outstanding and
+// re-arm on every firing (kernel burst chains, traffic generators, IPI
+// lines), so a lane's key changes about as often as the minimum is asked
+// for — a heap would pay a sift per change for ordering that is thrown
+// away a moment later. Instead the first laneHotMax simultaneously active
+// lanes sit in a small UNSORTED dense array: activation is an append,
+// draining is a swap-remove, a head change is an in-place key store — all
+// O(1) with no compares — and the merge scans the array (a few contiguous
+// cache lines of integer keys) when it needs the minimum. Only when more
+// than laneHotMax lanes are active at once does the excess spill into a
+// 4-ary slot heap; spilled lanes stay heap-resident lazily — a drained
+// lane's slot keeps its frozen key (heap order is preserved; keys only
+// change under a sift) until a later post re-keys it in place or it
+// surfaces at the root and is discarded.
+
+import "fmt"
+
+// laneHotMax bounds the unsorted active-lane array: small enough that the
+// merge scan stays within a few cache lines, large enough that every lane
+// of a typical single-host world avoids the spill heap.
+const laneHotMax = 16
+
+// Lane is a per-source FIFO feeder queue into the engine. Posts to one lane
+// must have non-decreasing times while the lane is non-empty (the source's
+// own causality); once the lane drains, any time >= Now is again
+// acceptable, which is what lets a producer cancel its outstanding event
+// and re-arm earlier (kernel burst preemption). Create lanes with
+// Engine.NewLane; a lane is bound to its engine for life.
+type Lane struct {
+	eng  *Engine
+	l    evList
+	id   int32 // index in the engine's lane registry
+	hot  int32 // index in the active-lane array; -1 when not resident
+	hidx int32 // index in the spill heap; -1 when not resident
+}
+
+// laneSlot is one merge entry: the owning lane's id and a copy of its head
+// event's key. Keeping the key in the slot (rather than behind the lane
+// pointer) makes merge compares and moves pointer-free.
+type laneSlot struct {
+	kwhen Time
+	kseq  uint64
+	id    int32
+}
+
+// slotLess orders merge entries by their cached head key.
+func slotLess(a, b laneSlot) bool {
+	if a.kwhen != b.kwhen {
+		return a.kwhen < b.kwhen
+	}
+	return a.kseq < b.kseq
+}
+
+// NewLane returns a new, empty lane. An empty lane costs nothing at merge
+// time, so it is fine to create one per potential source and leave it idle.
+func (e *Engine) NewLane() *Lane {
+	l := &Lane{eng: e, id: int32(len(e.lanes)), hot: -1, hidx: -1} //lrp:coldalloc one allocation per source, at setup
+	l.l.tier = -1
+	l.l.lane = l
+	e.lanes = append(e.lanes, l) //lrp:coldalloc lane registry grows once per source
+	return l
+}
+
+// Len returns the number of events pending on the lane.
+func (l *Lane) Len() int {
+	n := 0
+	for ev := l.l.head; ev != nil; ev = ev.next {
+		n++
+	}
+	return n
+}
+
+// Post schedules fn at absolute time t on the lane. It panics if t is in
+// the past, or if the lane is non-empty and t precedes its tail — lane
+// order is the poster's promise, not something the engine sorts out. The
+// returned handle behaves exactly like one from Engine.At: cancellable
+// until fired, stale afterwards.
+//
+//lrp:hotpath
+func (l *Lane) Post(t Time, fn func()) Event {
+	e := l.eng
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	ev := e.alloc(t, fn)
+	if tail := l.l.tail; tail != nil {
+		if t < tail.when {
+			panic(fmt.Sprintf("sim: lane post at %d before pending tail %d", t, tail.when))
+		}
+		ev.prev = tail
+		tail.next = ev
+		l.l.tail = ev
+	} else {
+		l.l.head, l.l.tail = ev, ev
+		switch {
+		case l.hidx >= 0:
+			// Lazily heap-resident with the drained key; re-key in place.
+			// The new key is usually larger (time moved on), but a cancel
+			// can leave a stale future key, so fix both directions.
+			i := l.hidx
+			e.laneHeap[i].kwhen, e.laneHeap[i].kseq = ev.when, ev.seq
+			e.laneDown(i)
+			e.laneUp(l.hidx)
+		case len(e.laneHot) < laneHotMax:
+			l.hot = int32(len(e.laneHot))
+			e.laneHot = append(e.laneHot, laneSlot{kwhen: ev.when, kseq: ev.seq, id: l.id}) //lrp:coldalloc grows to laneHotMax, then stabilizes
+		default:
+			e.lanePush(laneSlot{kwhen: ev.when, kseq: ev.seq, id: l.id})
+		}
+	}
+	ev.list = &l.l
+	e.live++
+	if p := e.peeked; p != nil && t < p.when {
+		// The new event beats the cached winner, so it beats everything.
+		e.peeked = ev
+	}
+	return Event{e: ev, gen: ev.gen, when: t}
+}
+
+// PostAfter schedules fn d microseconds from now on the lane, clamping a
+// negative d to "this instant" like Engine.After.
+//
+//lrp:hotpath
+func (l *Lane) PostAfter(d int64, fn func()) Event {
+	if d < 0 {
+		d = 0
+	}
+	return l.Post(l.eng.now+d, fn)
+}
+
+// laneHeadChanged records that l's head changed to ev (the old head fired
+// or was cancelled, with a survivor behind it): an active-array slot is
+// re-keyed with a plain store; a spill-heap slot's key can only grow, so
+// one down-sift restores heap order.
+//
+//lrp:hotpath
+func (e *Engine) laneHeadChanged(l *Lane, ev *event) {
+	if l.hot >= 0 {
+		s := &e.laneHot[l.hot]
+		s.kwhen, s.kseq = ev.when, ev.seq
+		return
+	}
+	i := l.hidx
+	e.laneHeap[i].kwhen, e.laneHeap[i].kseq = ev.when, ev.seq
+	e.laneDown(i)
+}
+
+// laneDrained records that l's last event fired or was cancelled: an
+// active-array resident leaves by swap-remove; a spill-heap resident stays
+// put with its frozen key (see the lazy-residency note atop the file).
+//
+//lrp:hotpath
+func (e *Engine) laneDrained(l *Lane) {
+	if i := l.hot; i >= 0 {
+		h := e.laneHot
+		n := int32(len(h)) - 1
+		l.hot = -1
+		if i != n {
+			h[i] = h[n]
+			e.lanes[h[i].id].hot = i
+		}
+		e.laneHot = h[:n]
+	}
+}
+
+// laneRoot returns the head event of the earliest non-empty lane, or nil:
+// the minimum over the active array (linear scan of inline keys) and the
+// spill-heap root. Spilled lanes that drained since their last sift are
+// discarded as they surface at the root.
+//
+//lrp:hotpath
+func (e *Engine) laneRoot() *event {
+	h := e.laneHot
+	bi := -1
+	var bw Time
+	var bs uint64
+	if len(h) > 0 {
+		bi, bw, bs = 0, h[0].kwhen, h[0].kseq
+		for i := 1; i < len(h); i++ {
+			w := h[i].kwhen
+			if w > bw {
+				continue // the common case: one compare, no key juggling
+			}
+			if w < bw || h[i].kseq < bs {
+				bi, bw, bs = i, w, h[i].kseq
+			}
+		}
+	}
+	for len(e.laneHeap) > 0 {
+		s := e.laneHeap[0]
+		ln := e.lanes[s.id]
+		if ln.l.head == nil {
+			e.laneRemove(0)
+			continue
+		}
+		if bi < 0 || s.kwhen < bw || (s.kwhen == bw && s.kseq < bs) {
+			return ln.l.head
+		}
+		break
+	}
+	if bi < 0 {
+		return nil
+	}
+	return e.lanes[h[bi].id].l.head
+}
+
+// lanePush adds a newly non-empty lane's slot to the spill heap.
+//
+//lrp:hotpath
+func (e *Engine) lanePush(s laneSlot) {
+	i := int32(len(e.laneHeap))
+	e.laneHeap = append(e.laneHeap, s) //lrp:coldalloc grows to the high-water count of spilled lanes
+	e.lanes[s.id].hidx = i
+	e.laneUp(i)
+}
+
+// laneRemove deletes the slot at spill-heap index i.
+//
+//lrp:hotpath
+func (e *Engine) laneRemove(i int32) {
+	h := e.laneHeap
+	n := int32(len(h)) - 1
+	e.lanes[h[i].id].hidx = -1
+	if i != n {
+		h[i] = h[n]
+		e.lanes[h[i].id].hidx = i
+	}
+	e.laneHeap = h[:n]
+	if i < n {
+		e.laneDown(i)
+		e.laneUp(i)
+	}
+}
+
+// laneUp sifts the slot at spill-heap index i toward the root.
+//
+//lrp:hotpath
+func (e *Engine) laneUp(i int32) {
+	h := e.laneHeap
+	s := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h[parent]
+		if !slotLess(s, p) {
+			break
+		}
+		h[i] = p
+		e.lanes[p.id].hidx = i
+		i = parent
+	}
+	h[i] = s
+	e.lanes[s.id].hidx = i
+}
+
+// laneDown sifts the slot at spill-heap index i toward the leaves.
+//
+//lrp:hotpath
+func (e *Engine) laneDown(i int32) {
+	h := e.laneHeap
+	s := h[i]
+	n := int32(len(h))
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if slotLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !slotLess(h[min], s) {
+			break
+		}
+		h[i] = h[min]
+		e.lanes[h[i].id].hidx = i
+		i = min
+	}
+	h[i] = s
+	e.lanes[s.id].hidx = i
+}

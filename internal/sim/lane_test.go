@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+// Lane re-arm semantics: posts to a non-empty lane must be monotone, but
+// once the lane drains — by firing OR by cancellation — any time >= now is
+// acceptable again. The kernel leans on this for burst preemption: cancel
+// the outstanding burst-completion event, re-post it earlier.
+
+func TestLaneCancelThenRearmEarlier(t *testing.T) {
+	e := NewEngine()
+	l := e.NewLane()
+	var got []int64
+
+	ev := l.Post(100, func() { t.Fatal("cancelled event fired") })
+	e.At(70, func() { got = append(got, e.Now()) })
+	e.Cancel(ev)
+	// The lane is empty again: an earlier deadline than the cancelled
+	// tail's must be accepted, and must win the merge.
+	l.Post(50, func() { got = append(got, e.Now()) })
+	e.Run()
+
+	want := []int64{50, 70}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// The spill-heap variant: a lane beyond laneHotMax keeps a lazily frozen
+// slot key after a cancel drains it. A re-post at an EARLIER time than the
+// frozen key must re-key the slot both ways (the regression this pins: a
+// down-only sift would leave the slot too deep and fire the event late).
+func TestLaneSpilledCancelThenRearmEarlier(t *testing.T) {
+	e := NewEngine()
+	var lanes []*Lane
+	// laneHotMax lanes occupy the hot array; two more spill.
+	for i := 0; i < laneHotMax+2; i++ {
+		lanes = append(lanes, e.NewLane())
+	}
+	var got []int64
+	var victimEv Event
+	for i, l := range lanes {
+		when := int64(1000 + i)
+		if i == laneHotMax+1 {
+			when = 5000 // the victim: spilled, far in the future
+		}
+		ev := l.Post(when, func() { got = append(got, e.Now()) })
+		if i == laneHotMax+1 {
+			victimEv = ev
+		}
+	}
+	victim := lanes[laneHotMax+1]
+	if victim.hidx < 0 {
+		t.Fatalf("test setup: victim lane not spill-resident (hidx=%d, hot=%d)", victim.hidx, victim.hot)
+	}
+
+	// Drain the victim by cancel; its slot stays in the spill heap with
+	// the frozen 5000 key.
+	e.Cancel(victimEv)
+	// Re-arm earlier than every other pending event.
+	victim.Post(10, func() { got = append(got, -e.Now()) })
+	e.Run()
+
+	if len(got) != laneHotMax+2 {
+		t.Fatalf("fired %d events, want %d", len(got), laneHotMax+2)
+	}
+	if got[0] != -10 {
+		t.Fatalf("re-armed event fired at position with value %d, want first (-10); full order %v", got[0], got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != int64(1000+i-1) {
+			t.Fatalf("unexpected order %v", got)
+		}
+	}
+}
+
+// A fired (not cancelled) drain must grant the same any-time-≥-now
+// freedom, including posting at the very instant the lane drained.
+func TestLaneRearmAtSameInstantAfterDrain(t *testing.T) {
+	e := NewEngine()
+	l := e.NewLane()
+	var got []string
+	l.Post(100, func() {
+		got = append(got, "first")
+		// Re-arm from inside the firing callback at the current instant.
+		l.Post(e.Now(), func() { got = append(got, "second") })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Posting before a non-empty lane's tail must still panic: monotonicity is
+// only waived when the lane is empty.
+func TestLanePostBeforeTailPanics(t *testing.T) {
+	e := NewEngine()
+	l := e.NewLane()
+	l.Post(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic posting before the lane tail")
+		}
+	}()
+	l.Post(50, func() {})
+}

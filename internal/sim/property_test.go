@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+// This file checks the two-tier scheduler (timer wheel + lanes + overflow
+// heap + top-level merge) against a reference engine that reproduces the
+// old implementation: one global priority heap ordered by (when, seq).
+// The same seeded randomized program — schedules, same-instant bursts,
+// batched posts, cancels, cancel-then-rearm, lane traffic, far-future
+// events beyond the wheel span, and nested scheduling from inside
+// callbacks — runs against both, and the firing traces must be identical
+// down to tie order.
+
+// refEvent is one pending entry of the reference engine.
+type refEvent struct {
+	when      int64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	idx       int
+}
+
+// refHeap is a plain container/heap min-heap by (when, seq) — deliberately
+// the dumbest correct implementation of the engine's total order.
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *refHeap) Push(x any) {
+	ev := x.(*refEvent)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	ev := old[n]
+	*h = old[:n]
+	return ev
+}
+
+// refEngine is the single-global-heap scheduler the engine used before the
+// wheel/lane split. Cancellation marks the entry and drops it at pop time,
+// which leaves the fire order untouched.
+type refEngine struct {
+	now  int64
+	seq  uint64
+	h    refHeap
+	live int
+}
+
+func (r *refEngine) at(t int64, fn func()) *refEvent {
+	if t < r.now {
+		panic("ref: schedule in the past")
+	}
+	ev := &refEvent{when: t, seq: r.seq, fn: fn}
+	r.seq++
+	heap.Push(&r.h, ev)
+	r.live++
+	return ev
+}
+
+func (r *refEngine) cancel(ev *refEvent) {
+	if ev.cancelled || ev.fn == nil {
+		return
+	}
+	ev.cancelled = true
+	r.live--
+}
+
+func (r *refEngine) step() bool {
+	for len(r.h) > 0 {
+		ev := heap.Pop(&r.h).(*refEvent)
+		if ev.cancelled {
+			continue
+		}
+		r.now = ev.when
+		fn := ev.fn
+		ev.fn = nil
+		r.live--
+		fn()
+		return true
+	}
+	return false
+}
+
+// propSched is the common surface the randomized program drives; one
+// adapter wraps the real engine, the other the reference.
+type propSched interface {
+	now() int64
+	at(t int64, fn func()) (cancel func(), active func() bool)
+	lanePost(lane int, t int64, fn func())
+	batch(at []int64, fn []func())
+	step() bool
+	pending() int
+}
+
+type newSched struct {
+	e     *Engine
+	lanes []*Lane
+}
+
+func (s *newSched) now() int64 { return s.e.Now() }
+func (s *newSched) at(t int64, fn func()) (func(), func() bool) {
+	h := s.e.At(t, fn)
+	return func() { s.e.Cancel(h) }, h.Active
+}
+func (s *newSched) lanePost(lane int, t int64, fn func()) {
+	s.lanes[lane].Post(t, fn)
+}
+func (s *newSched) batch(at []int64, fn []func()) {
+	posts := make([]Post, len(at))
+	for i := range at {
+		posts[i] = Post{At: at[i], Fn: fn[i]}
+	}
+	s.e.PostBatch(posts)
+}
+func (s *newSched) step() bool   { return s.e.Step() }
+func (s *newSched) pending() int { return s.e.Pending() }
+
+type refSched struct {
+	e *refEngine
+}
+
+func (s *refSched) now() int64 { return s.e.now }
+func (s *refSched) at(t int64, fn func()) (func(), func() bool) {
+	ev := s.e.at(t, fn)
+	return func() { s.e.cancel(ev) },
+		func() bool { return !ev.cancelled && ev.fn != nil }
+}
+func (s *refSched) lanePost(lane int, t int64, fn func()) {
+	s.e.at(t, fn) // a lane post is just an ordered At
+}
+func (s *refSched) batch(at []int64, fn []func()) {
+	for i := range at {
+		s.e.at(at[i], fn[i]) // consecutive seqs in slice order, like PostBatch
+	}
+}
+func (s *refSched) step() bool   { return s.e.step() }
+func (s *refSched) pending() int { return s.e.live }
+
+// propLanes exceeds laneHotMax so the spill heap and its lazy residency
+// are exercised, not just the dense hot array.
+const propLanes = laneHotMax + 8
+
+// propWorld runs the randomized program against one scheduler. Both worlds
+// get same-seed RNGs; as long as the engines fire in the same order, every
+// draw mirrors, so any trace divergence is an ordering bug in the engine
+// under test, not in the harness.
+type propWorld struct {
+	s     propSched
+	rng   *Rand
+	trace []string
+
+	// Live cancellable handles, as parallel slices (cancel, active).
+	cancels []func()
+	actives []func() bool
+
+	// Per-lane bookkeeping so lane posts respect the non-decreasing
+	// constraint: while a lane has pending events, posts must not precede
+	// its tail; once it drains, any time >= now is fair game again.
+	lanePending [propLanes]int
+	laneTail    [propLanes]int64
+
+	nextID int
+}
+
+func (w *propWorld) record(id int) {
+	w.trace = append(w.trace, fmt.Sprintf("t=%d id=%d", w.s.now(), id))
+}
+
+// fire builds the callback for event id: record, then maybe do nested work
+// (more schedules, a cancel) using the world's RNG.
+func (w *propWorld) fire(id, lane int) func() {
+	return func() {
+		w.record(id)
+		if lane >= 0 {
+			w.lanePending[lane]--
+		}
+		// Nested scheduling: follow-ups with mean < 1 so cascades stay
+		// finite (the outer loop keeps seeding new work anyway).
+		n := 0
+		switch w.rng.Int63n(8) {
+		case 0:
+			n = 2
+		case 1, 2, 3:
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			w.scheduleOne(true)
+		}
+		if w.rng.Int63n(4) == 0 {
+			w.cancelOne()
+		}
+	}
+}
+
+// scheduleOne issues one random scheduling op. nested marks calls made
+// from inside a callback (they skip batches to keep recursion shallow).
+func (w *propWorld) scheduleOne(nested bool) {
+	id := w.nextID
+	w.nextID++
+	now := w.s.now()
+	switch k := w.rng.Int63n(10); {
+	case k < 4: // plain At, near-term (0 often: same-instant burst)
+		d := w.rng.Int63n(50)
+		c, a := w.s.at(now+d, w.fire(id, -1))
+		w.cancels = append(w.cancels, c)
+		w.actives = append(w.actives, a)
+	case k < 7: // lane post
+		lane := int(w.rng.Int63n(propLanes))
+		t := now + w.rng.Int63n(40)
+		if w.lanePending[lane] > 0 && t < w.laneTail[lane] {
+			t = w.laneTail[lane]
+		}
+		w.s.lanePost(lane, t, w.fire(id, lane))
+		w.lanePending[lane]++
+		w.laneTail[lane] = t
+	case k < 8: // far future: overflow heap, multi-tier cascades
+		d := 1 + w.rng.Int63n(int64(2)<<wheelBits)
+		c, a := w.s.at(now+d, w.fire(id, -1))
+		w.cancels = append(w.cancels, c)
+		w.actives = append(w.actives, a)
+	case k < 9 && !nested: // batch of 2–4 with non-decreasing times
+		n := 2 + int(w.rng.Int63n(3))
+		at := make([]int64, n)
+		fns := make([]func(), n)
+		t := now + w.rng.Int63n(30)
+		for i := 0; i < n; i++ {
+			at[i] = t
+			fns[i] = w.fire(w.nextID-1+i, -1)
+			t += w.rng.Int63n(3) // repeats exercise the same-bucket append
+		}
+		w.nextID += n - 1
+		w.s.batch(at, fns)
+	default: // mid-range At, lands in a higher wheel tier
+		d := 100 + w.rng.Int63n(100_000)
+		c, a := w.s.at(now+d, w.fire(id, -1))
+		w.cancels = append(w.cancels, c)
+		w.actives = append(w.actives, a)
+	}
+}
+
+// cancelOne cancels a randomly chosen outstanding handle (possibly one
+// that already fired — that must be a no-op).
+func (w *propWorld) cancelOne() {
+	if len(w.cancels) == 0 {
+		return
+	}
+	i := int(w.rng.Int63n(int64(len(w.cancels))))
+	w.trace = append(w.trace, fmt.Sprintf("cancel@%d active=%v", w.s.now(), w.actives[i]()))
+	w.cancels[i]()
+	n := len(w.cancels) - 1
+	w.cancels[i] = w.cancels[n]
+	w.actives[i] = w.actives[n]
+	w.cancels = w.cancels[:n]
+	w.actives = w.actives[:n]
+}
+
+// run executes the program: interleaved scheduling and stepping, then a
+// full drain.
+func (w *propWorld) run(steps int) {
+	for i := 0; i < steps; i++ {
+		for w.rng.Int63n(2) == 0 {
+			w.scheduleOne(false)
+		}
+		if w.rng.Int63n(6) == 0 {
+			w.cancelOne()
+		}
+		if !w.s.step() {
+			continue
+		}
+	}
+	for w.s.step() {
+	}
+	if w.s.pending() != 0 {
+		w.trace = append(w.trace, fmt.Sprintf("PENDING LEFT: %d", w.s.pending()))
+	}
+}
+
+func TestEngineMatchesGlobalHeapReference(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			e := NewEngine()
+			ns := &newSched{e: e}
+			for i := 0; i < propLanes; i++ {
+				ns.lanes = append(ns.lanes, e.NewLane())
+			}
+			wNew := &propWorld{s: ns, rng: NewRand(seed)}
+			wRef := &propWorld{s: &refSched{e: &refEngine{}}, rng: NewRand(seed)}
+
+			wNew.run(4000)
+			wRef.run(4000)
+
+			if len(wNew.trace) < 4000 {
+				t.Fatalf("workload too small to mean anything: %d trace entries", len(wNew.trace))
+			}
+			if len(wNew.trace) != len(wRef.trace) {
+				t.Fatalf("trace lengths differ: engine %d vs reference %d",
+					len(wNew.trace), len(wRef.trace))
+			}
+			for i := range wNew.trace {
+				if wNew.trace[i] != wRef.trace[i] {
+					t.Fatalf("trace diverges at %d:\n  engine:    %s\n  reference: %s",
+						i, wNew.trace[i], wRef.trace[i])
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ package socket
 
 import (
 	"lrp/internal/kernel"
+	"lrp/internal/mbuf"
 	"lrp/internal/nic"
 	"lrp/internal/pkt"
 )
@@ -30,6 +31,25 @@ type Datagram struct {
 	// Arrival is when the packet arrived from the wire, for latency
 	// measurements.
 	Arrival int64
+	// M, when non-nil, owns Data's backing storage: the datagram still
+	// rides in the kernel buffer it arrived in (real kernels free the mbuf
+	// after recv's copyout; the simulation hands the bytes over instead).
+	// A consumer that is done with Data should call Release so the buffer
+	// returns to its pool; dropping the datagram without releasing is safe
+	// — the collector reclaims it — but wastes the pool's free lists.
+	M *mbuf.Mbuf
+}
+
+// Release returns the datagram's backing buffer to its pool. Data must not
+// be used afterwards. Safe on datagrams that own no buffer, and on the
+// zero Datagram.
+//
+//lrp:hotpath
+func (d *Datagram) Release() {
+	if m := d.M; m != nil {
+		d.M, d.Data = nil, nil
+		m.EndTransfer()
+	}
 }
 
 // DgramQueue is a bounded FIFO of received datagrams (the BSD socket
@@ -210,6 +230,11 @@ type Socket struct {
 	// NIChan is the LRP network-interface channel feeding this socket
 	// (nil under BSD and Early-Demux).
 	NIChan *nic.Channel
+
+	// SignalAct caches the host's channel-signal action for this socket so
+	// the empty->nonempty interrupt path does not allocate a closure per
+	// signal. Built lazily by the host; opaque to this package.
+	SignalAct func()
 
 	// Wait queues.
 	RcvWait    kernel.WaitQ
