@@ -136,7 +136,11 @@ func (nw *Network) newDelivery(dst *port, b []byte, m *mbuf.Mbuf, corrupt bool) 
 //lrp:hotpath
 func (d *delivery) run() {
 	nw, dst, b, m := d.nw, d.dst, d.b, d.m
-	if d.corrupt {
+	corrupt := d.corrupt
+	// Clear the packet references so the free list does not pin the last
+	// delivery's wire bytes and mbuf until the slot is reused.
+	d.dst, d.b, d.m = nil, nil, nil
+	if corrupt {
 		b = nw.corruptCopy(b)
 	}
 	nw.freeDeliv = append(nw.freeDeliv, d) //lrp:coldalloc free list grows to the in-flight high-water, then stabilizes

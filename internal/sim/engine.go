@@ -363,10 +363,14 @@ func (e *Engine) tierDec(t int32) {
 }
 
 // unscheduleHead detaches the merge winner from whichever structure holds
-// it. peek only ever returns a lane head, a tier-0 bucket head, or the
-// overflow-heap root, so each removal is the cheap head case. It returns
-// the next event of a surviving tier-0 bucket — still the exact wheel
-// minimum — so Step can re-derive the next winner without a bitmap scan.
+// it. The winner is a lane head, the overflow-heap root, or a wheel-bucket
+// member — a tier-0 head when peek derived it, but possibly a tier >= 1
+// resident when the At/Post/PostBatch fast path cached a fresh insert that
+// beat the previous winner. Only a surviving tier-0 bucket yields a hint:
+// its members all share one instant and append in seq order, so the new
+// head is still the exact wheel minimum. Tier >= 1 bucket lists are
+// append-ordered, not time-ordered, so firing out of one must return nil
+// and let the next peek re-derive the minimum through the cascade loop.
 //
 //lrp:hotpath
 func (e *Engine) unscheduleHead(ev *event) (wheelHint *event) {
@@ -380,9 +384,10 @@ func (e *Engine) unscheduleHead(ev *event) (wheelHint *event) {
 		e.tierDec(l.tier)
 		if l.head == nil {
 			e.bitmap[l.tier][l.slot>>6] &^= 1 << uint(l.slot&63)
-			return nil
+		} else if l.tier == 0 {
+			return l.head
 		}
-		return l.head
+		return nil
 	}
 	if l.head != nil {
 		e.laneHeadChanged(l.lane, l.head)

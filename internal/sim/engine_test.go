@@ -178,6 +178,36 @@ func TestEngineNextEventTime(t *testing.T) {
 	}
 }
 
+// Regression: a cached merge winner living in a tier >= 1 wheel bucket
+// must not be followed by that bucket's (append-ordered) list head. The
+// sequence below caches the lane head via NextEventTime, then inserts
+// descending times that each become the cached winner and land in one
+// tier-1 bucket in list order 950, 920, 900; firing 900 out of it must
+// re-derive the minimum (920), not trust the list head (950).
+func TestEngineCachedWinnerInHighTierBucket(t *testing.T) {
+	e := NewEngine()
+	lane := e.NewLane()
+	var got []Time
+	rec := func() { got = append(got, e.Now()) }
+	lane.Post(1000, rec)
+	if e.NextEventTime() != 1000 {
+		t.Fatalf("NextEventTime = %d, want 1000", e.NextEventTime())
+	}
+	e.At(950, rec)
+	e.At(920, rec)
+	e.At(900, rec)
+	e.Run()
+	want := []Time{900, 920, 950, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
 // Property: any batch of events fires in nondecreasing time order and the
 // engine processes exactly the scheduled count.
 func TestEngineOrderProperty(t *testing.T) {

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"testing"
 )
 
@@ -98,9 +99,13 @@ func (r *refEngine) step() bool {
 }
 
 // propSched is the common surface the randomized program drives; one
-// adapter wraps the real engine, the other the reference.
+// adapter wraps the real engine, the other the reference. next is
+// NextEventTime: on the real engine it populates the peek cache (and may
+// advance the wheel cursor), so interleaving it with later inserts
+// exercises the cached-winner fast paths.
 type propSched interface {
 	now() int64
+	next() int64
 	at(t int64, fn func()) (cancel func(), active func() bool)
 	lanePost(lane int, t int64, fn func())
 	batch(at []int64, fn []func())
@@ -113,7 +118,8 @@ type newSched struct {
 	lanes []*Lane
 }
 
-func (s *newSched) now() int64 { return s.e.Now() }
+func (s *newSched) now() int64  { return s.e.Now() }
+func (s *newSched) next() int64 { return s.e.NextEventTime() }
 func (s *newSched) at(t int64, fn func()) (func(), func() bool) {
 	h := s.e.At(t, fn)
 	return func() { s.e.Cancel(h) }, h.Active
@@ -136,6 +142,16 @@ type refSched struct {
 }
 
 func (s *refSched) now() int64 { return s.e.now }
+func (s *refSched) next() int64 {
+	// Min over live entries; the heap root may be a cancelled tombstone.
+	min := int64(math.MaxInt64)
+	for _, ev := range s.e.h {
+		if !ev.cancelled && ev.fn != nil && ev.when < min {
+			min = ev.when
+		}
+	}
+	return min
+}
 func (s *refSched) at(t int64, fn func()) (func(), func() bool) {
 	ev := s.e.at(t, fn)
 	return func() { s.e.cancel(ev) },
@@ -214,7 +230,7 @@ func (w *propWorld) scheduleOne(nested bool) {
 	id := w.nextID
 	w.nextID++
 	now := w.s.now()
-	switch k := w.rng.Int63n(10); {
+	switch k := w.rng.Int63n(12); {
 	case k < 4: // plain At, near-term (0 often: same-instant burst)
 		d := w.rng.Int63n(50)
 		c, a := w.s.at(now+d, w.fire(id, -1))
@@ -246,6 +262,42 @@ func (w *propWorld) scheduleOne(nested bool) {
 		}
 		w.nextID += n - 1
 		w.s.batch(at, fns)
+	case k < 10: // the cached-winner-in-high-tier-bucket hazard: park a
+		// far-future lane event (peeking a lane head does not advance the
+		// wheel cursor), populate the winner cache via next(), then insert
+		// descending times. When that lane head was the global minimum,
+		// each insert beats the cached winner while resident in a tier >= 1
+		// bucket and fires straight from there — Step must not trust the
+		// (append-ordered) bucket list for the next minimum. Decrements
+		// also exceed a tier-1 slot (256µs) across the group, so the
+		// inserts land both in one bucket and across bucket boundaries.
+		lane := int(w.rng.Int63n(propLanes))
+		lt := now + 1200 + w.rng.Int63n(4000)
+		if w.lanePending[lane] > 0 && lt < w.laneTail[lane] {
+			lt = w.laneTail[lane]
+		}
+		w.s.lanePost(lane, lt, w.fire(id, lane))
+		w.lanePending[lane]++
+		w.laneTail[lane] = lt
+		nt := w.s.next()
+		w.trace = append(w.trace, fmt.Sprintf("next@%d=%d", now, nt))
+		d := 700 + w.rng.Int63n(400)
+		if gap := nt - now; gap > 1200 && gap < int64(1)<<wheelBits {
+			// The queue head is far out: start just below it so every
+			// descending insert beats the cached winner.
+			d = gap - 1 - w.rng.Int63n(100)
+		}
+		for i := 0; ; i++ {
+			id = w.nextID
+			w.nextID++
+			c, a := w.s.at(now+d, w.fire(id, -1))
+			w.cancels = append(w.cancels, c)
+			w.actives = append(w.actives, a)
+			if i == 2 {
+				break
+			}
+			d -= 100 + w.rng.Int63n(120)
+		}
 	default: // mid-range At, lands in a higher wheel tier
 		d := 100 + w.rng.Int63n(100_000)
 		c, a := w.s.at(now+d, w.fire(id, -1))

@@ -168,6 +168,12 @@ func (e *Engine) advance(to Time) {
 		}
 	}
 	if uint64(old^to)>>wheelBits != 0 {
+		// Drain overflow events that now fit the wheel span. A root behind
+		// the cursor (scheduled behind wpos after a speculative peek
+		// advance) intentionally stops the drain early: place would push it
+		// straight back into overflow, and it fires before anything blocked
+		// behind it anyway, so deferring those events' drain to a later
+		// span crossing costs a few exact compares in peek — never ordering.
 		for {
 			r := e.overflow.root()
 			if r == nil || r.when < to || uint64(r.when^to)>>wheelBits != 0 {
